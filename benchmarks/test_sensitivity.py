@@ -1,0 +1,85 @@
+"""Sensitivity studies: how the Spandex-vs-hierarchical comparison
+moves with device count and L1 capacity.
+
+The paper's motivation (§I, §II-D) is that hierarchical solutions rely
+on "an assumption of limited inter-device communication demands" that
+stops holding as systems integrate more devices.  These sweeps check
+that the model reproduces that trend: Spandex's advantage on a
+flat-sharing workload grows (or at least persists) with CU count, and
+shrinking L1s — which raise miss rates and thus coherence traffic —
+do not erase it.
+"""
+
+from dataclasses import replace
+
+from repro.system import build_system, scaled_config
+from repro.workloads import make_indirection, make_reuse_o
+
+
+def run(config, workload):
+    system = build_system(config)
+    system.load_workload(workload)
+    result = system.run(max_events=120_000_000)
+    return result.cycles, result.network_bytes
+
+
+def sweep_device_count():
+    out = {}
+    for num_gpus in (2, 4, 8):
+        workload = make_indirection(num_cpus=2, num_gpus=num_gpus,
+                                    warps_per_cu=2)
+        for config_name in ("HMG", "SDD"):
+            config = scaled_config(config_name, 2, num_gpus)
+            out[(num_gpus, config_name)] = run(config, workload)
+    return out
+
+
+def test_sensitivity_device_count(benchmark):
+    out = benchmark.pedantic(sweep_device_count, rounds=1, iterations=1)
+    print("\nSensitivity: CU count on Indirection (flat sharing)")
+    advantages = {}
+    for num_gpus in (2, 4, 8):
+        hmg = out[(num_gpus, "HMG")]
+        sdd = out[(num_gpus, "SDD")]
+        advantage = 1 - sdd[0] / hmg[0]
+        advantages[num_gpus] = advantage
+        print(f"  {num_gpus:>2} CUs: HMG={hmg[0]:>8,}  SDD={sdd[0]:>8,} "
+              f"(SDD {advantage:+.0%} time, "
+              f"{1 - sdd[1] / hmg[1]:+.0%} traffic)")
+    # Spandex wins at every scale, and its advantage does not shrink to
+    # nothing as devices are added (the paper's scalability argument)
+    for num_gpus, advantage in advantages.items():
+        assert advantage > 0.05, num_gpus
+    assert advantages[8] >= 0.5 * advantages[2]
+
+
+def sweep_l1_size():
+    out = {}
+    # larger tiles so the smallest L1s genuinely thrash (two warps
+    # share one L1: 2 x 48 lines x 64 B = 6 KB of tiles per CU)
+    workload = make_reuse_o(num_cpus=2, num_gpus=4, warps_per_cu=2,
+                            tile_lines=48)
+    for l1_kb in (2, 8, 32):
+        for config_name in ("SMG", "SMD"):
+            config = replace(scaled_config(config_name, 2, 4),
+                             l1_size=l1_kb * 1024)
+            out[(l1_kb, config_name)] = run(config, workload)
+    return out
+
+
+def test_sensitivity_l1_size(benchmark):
+    out = benchmark.pedantic(sweep_l1_size, rounds=1, iterations=1)
+    print("\nSensitivity: L1 size on ReuseO "
+          "(ownership reuse needs capacity)")
+    savings = {}
+    for l1_kb in (2, 8, 32):
+        smg = out[(l1_kb, "SMG")]
+        smd = out[(l1_kb, "SMD")]
+        savings[l1_kb] = 1 - smd[1] / smg[1]
+        print(f"  {l1_kb:>2} KB: SMG traffic={smg[1]:>10,.0f}  "
+              f"SMD traffic={smd[1]:>10,.0f} "
+              f"(DeNovo GPU saves {savings[l1_kb]:.0%})")
+    # when the tiles fit (32 KB), DeNovo ownership pays off massively;
+    # when they thrash (2 KB), owned evictions claw the benefit back
+    assert savings[32] > 0.4
+    assert savings[32] > savings[2]

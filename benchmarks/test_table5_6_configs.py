@@ -1,0 +1,72 @@
+"""Tables V and VI — simulated cache configurations and parameters.
+
+Renders the six evaluated memory configurations and the Table VI
+system parameters from the implementation's config objects, verifying
+the values the paper specifies.
+"""
+
+from repro.system.config import CONFIG_ORDER, CONFIGS, KB, MB
+
+TABLE_V = {
+    "HMG": ("H-MESI", "MESI", "GPU coherence"),
+    "HMD": ("H-MESI", "MESI", "DeNovo"),
+    "SMG": ("Spandex", "MESI", "GPU coherence"),
+    "SMD": ("Spandex", "MESI", "DeNovo"),
+    "SDG": ("Spandex", "DeNovo", "GPU coherence"),
+    "SDD": ("Spandex", "DeNovo", "DeNovo"),
+}
+
+
+def render():
+    lines = ["Table V: simulated cache configurations",
+             f"{'Config':<8}{'LLC':<10}{'CPU L1':<10}{'GPU L1':<16}"]
+    for name in CONFIG_ORDER:
+        config = CONFIGS[name]
+        llc = "H-MESI" if config.hierarchical else "Spandex"
+        gpu = ("GPU coherence" if config.gpu_protocol == "GPU"
+               else "DeNovo")
+        lines.append(f"{name:<8}{llc:<10}{config.cpu_protocol:<10}"
+                     f"{gpu:<16}")
+    config = CONFIGS["SMG"]
+    lines += [
+        "",
+        "Table VI: system parameters",
+        f"  CPU cores            {config.num_cpus}",
+        f"  GPU CUs              {config.num_gpus}",
+        f"  L1 size              {config.l1_size // KB} KB",
+        f"  Spandex LLC          {config.llc_size // MB} MB, "
+        f"{config.llc_banks} banks",
+        f"  Hier. GPU L2         {config.gpu_l2_size // MB} MB",
+        f"  Hier. L3             {config.l3_size // MB} MB",
+        f"  Store buffer         {config.store_buffer_words} entries",
+        f"  L1 MSHRs             {config.l1_mshrs} entries",
+        f"  CPU:GPU clock        {config.gpu_issue_period}:"
+        f"{config.cpu_issue_period} (issue periods)",
+    ]
+    return "\n".join(lines)
+
+
+def test_table5_configurations(benchmark):
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    print("\n" + table)
+    assert list(CONFIG_ORDER) == list(TABLE_V)
+    for name, (llc, cpu, gpu) in TABLE_V.items():
+        config = CONFIGS[name]
+        assert ("H-MESI" if config.hierarchical else "Spandex") == llc
+        assert config.cpu_protocol == cpu
+        assert ("GPU coherence" if config.gpu_protocol == "GPU"
+                else "DeNovo") == gpu
+    # SDG's CPU atomics are performed at the LLC (paper §IV-A)
+    assert CONFIGS["SDG"].cpu_atomic_policy == "llc"
+    assert CONFIGS["SDD"].cpu_atomic_policy == "own"
+    # Table VI values
+    config = CONFIGS["SMG"]
+    assert config.num_cpus == 8 and config.num_gpus == 16
+    assert config.l1_size == 32 * KB
+    assert config.llc_size == 8 * MB
+    assert config.gpu_l2_size == 4 * MB and config.l3_size == 8 * MB
+    assert config.store_buffer_words == 128
+    assert config.l1_mshrs == 128
+    assert config.llc_banks == 16
+    # 2 GHz CPU vs 700 MHz GPU ~ 3:1 issue periods
+    assert config.gpu_issue_period == 3

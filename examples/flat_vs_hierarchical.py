@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Flat Spandex vs hierarchical MESI: the Indirection pattern.
+
+The paper's central argument is that routing every CPU-GPU interaction
+through an intermediate GPU L2 and a MESI directory adds latency and
+traffic that a flat Spandex LLC avoids.  This example runs the
+Indirection microbenchmark — CPU and GPU taking turns producing data
+the other consumes, with no reuse — on the hierarchical baseline (HMG)
+and on Spandex (SDD), then breaks down where the cycles and bytes went.
+
+Run:  python examples/flat_vs_hierarchical.py
+"""
+
+from repro.analysis import ExperimentRunner, format_traffic_stack
+from repro.workloads import make_indirection
+
+
+def main() -> None:
+    print(__doc__)
+    runner = ExperimentRunner(num_cpus=2, num_gpus=4, warps_per_cu=2,
+                              configs=("HMG", "HMD", "SMD", "SDD"))
+    result = runner.run("Indirection", make_indirection)
+
+    print(f"{'config':<8}{'cycles':>12}{'bytes':>14}"
+          f"{'LLC requests':>14}{'memory ok':>11}")
+    for name, config_result in result.results.items():
+        requests = sum(
+            value for key, value in config_result.counters.items()
+            if key == "llc.deferred")
+        print(f"{name:<8}{config_result.cycles:>12,}"
+              f"{config_result.network_bytes:>14,.0f}"
+              f"{requests:>14,.0f}"
+              f"{str(config_result.memory_ok):>11}")
+
+    print()
+    print(format_traffic_stack(result))
+
+    time = result.normalized_time()
+    traffic = result.normalized_traffic()
+    print(f"\nSpandex (SDD) vs hierarchical (HMG): "
+          f"{1 - time['SDD']:.0%} less time, "
+          f"{1 - traffic['SDD']:.0%} less traffic")
+    print("Why: each CPU<->GPU handoff in HMG crosses the GPU L2 and "
+          "the MESI L3 with line-granularity RFO transfers and blocking "
+          "directory transients; Spandex moves exactly the written "
+          "words through one flat LLC with data-less ownership grants.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — a trace-driven reproduction of Spandex (ISCA 2018).
+
+Spandex is a flexible coherence interface that directly integrates
+devices with heterogeneous coherence strategies (MESI, GPU coherence,
+DeNovo) at a DeNovo-derived LLC, avoiding hierarchical MESI
+indirection.  This package implements the full protocol stack, device
+models, DRF consistency machinery, the paper's workloads, and an
+experiment harness reproducing its tables and figures.
+
+Quick start::
+
+    from repro.system import build_system, CONFIGS
+    from repro.workloads import make_bc
+
+    workload = make_bc(num_cpus=4, num_gpus=4, warps_per_cu=2)
+    system = build_system(CONFIGS["SDD"])
+    system.load_workload(workload)
+    result = system.run()
+    print(result.cycles, result.traffic_by_class())
+"""
+
+__version__ = "1.0.0"
+
+from .system import CONFIG_ORDER, CONFIGS, SystemConfig, build_system
+from .workloads import APPLICATIONS, MICROBENCHMARKS, Workload
+
+__all__ = ["CONFIG_ORDER", "CONFIGS", "SystemConfig", "build_system",
+           "APPLICATIONS", "MICROBENCHMARKS", "Workload", "__version__"]

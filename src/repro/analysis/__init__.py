@@ -1,0 +1,11 @@
+"""Experiment running and paper-style reporting."""
+from .invariants import (InvariantChecker, InvariantViolation,
+                         check_final_state)
+from .report import (ConfigResult, ExperimentRunner, TRAFFIC_CLASSES,
+                     WorkloadResult, format_figure, format_traffic_stack,
+                     summarize_headline)
+
+__all__ = ["InvariantChecker", "InvariantViolation",
+           "check_final_state", "ConfigResult", "ExperimentRunner", "TRAFFIC_CLASSES",
+           "WorkloadResult", "format_figure", "format_traffic_stack",
+           "summarize_headline"]

@@ -1,0 +1,205 @@
+"""Runtime protocol-invariant checking.
+
+Attach an :class:`InvariantChecker` to a built system and it audits the
+global coherence state on a fixed cycle period (and once at
+quiescence), raising :class:`InvariantViolation` with a precise
+description when any of these break:
+
+* **single writer** — a word is in a writable state (DeNovo O, MESI
+  M/E) in at most one cache, and then the home records that cache as
+  the owner;
+* **owner recorded implies data somewhere** — every word the home
+  records as owned is either present writable at the owner or covered
+  by an in-flight write-back;
+* **inclusivity** — lines with owned words are resident at the home;
+* **sharer soundness** — a cache holding MESI S state for a line is in
+  the home's sharer list while the line is in Shared state (so writer
+  invalidation can reach it);
+* **value agreement at quiescence** — for every unowned resident word,
+  all Valid/Shared copies and the home agree on the value.
+
+The checker is O(total cache lines) per audit, so it is a debug tool:
+tests enable it, benchmark runs don't.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.home import HomeState
+from ..protocols.denovo import DeNovoL1, DnState
+from ..protocols.gpu_coherence import GPUCoherenceL1, GpuState
+from ..protocols.mesi import MESIL1, MesiState
+
+
+class InvariantViolation(AssertionError):
+    """A coherence invariant did not hold."""
+
+
+class InvariantChecker:
+    """Periodic global-state auditor for a built System."""
+
+    def __init__(self, system, period: int = 500):
+        self.system = system
+        self.period = period
+        self.audits = 0
+        self._armed = False
+        #: owner/holder mismatches seen last audit: a mismatch is legal
+        #: while an ownership transfer is in flight (the home records
+        #: the future owner before the old owner's downgrade arrives),
+        #: but the same mismatch persisting across audits is a bug.
+        self._pending_mismatches: Dict[Tuple[int, int], str] = {}
+
+    # -- wiring -----------------------------------------------------------
+    def arm(self) -> None:
+        """Start periodic audits on the system's engine."""
+        if self._armed:
+            return
+        self._armed = True
+        self._tick()
+
+    def _tick(self) -> None:
+        self.audit(final=False)
+        if self.system.engine.pending() > 0:
+            self.system.engine.schedule(self.period, self._tick,
+                                        label="invariant-audit")
+
+    # -- helpers -----------------------------------------------------------
+    def _writable_holders(self) -> Dict[Tuple[int, int], List[str]]:
+        """(line, word) -> caches holding it writable."""
+        holders: Dict[Tuple[int, int], List[str]] = {}
+        for l1 in self._l1s():
+            for resident in l1.array.lines():
+                if isinstance(l1, DeNovoL1):
+                    for index, state in enumerate(resident.word_states):
+                        if state == DnState.O:
+                            holders.setdefault(
+                                (resident.line, index), []).append(l1.name)
+                elif isinstance(l1, MESIL1):
+                    if resident.state in (MesiState.M, MesiState.E):
+                        for index in range(16):
+                            holders.setdefault(
+                                (resident.line, index), []).append(l1.name)
+        return holders
+
+    def _l1s(self):
+        return list(self.system.cpu_l1s) + list(self.system.gpu_l1s)
+
+    def _homes(self):
+        homes = []
+        if self.system.gpu_l2 is not None:
+            homes.append(self.system.gpu_l2)
+        if hasattr(self.system.llc, "_owned_mask"):
+            homes.append(self.system.llc)
+        return homes
+
+    def _home_of(self, l1) -> Optional[object]:
+        target = l1.home
+        for home in self._homes():
+            if home.name == target:
+                return home
+        return None
+
+    # -- the audit ---------------------------------------------------------
+    def audit(self, final: bool) -> None:
+        self.audits += 1
+        self._check_single_writer()
+        self._check_home_ownership(final=final)
+        self._check_sharer_soundness()
+        if final:
+            self._check_value_agreement()
+
+    def _check_single_writer(self) -> None:
+        for (line, index), holders in self._writable_holders().items():
+            if len(holders) > 1:
+                raise InvariantViolation(
+                    f"word 0x{line:x}[{index}] writable in multiple "
+                    f"caches: {holders}")
+
+    def _check_home_ownership(self, final: bool = False) -> None:
+        holders = self._writable_holders()
+        fresh_mismatches: Dict[Tuple[int, int], str] = {}
+        for home in self._homes():
+            for resident in home.array.lines():
+                owned_any = False
+                for index, owner in enumerate(resident.owner):
+                    if owner is None:
+                        continue
+                    owned_any = True
+                    # inclusivity: the owned line is resident (trivially
+                    # true here) and pinned against eviction
+                    if not resident.pinned:
+                        raise InvariantViolation(
+                            f"{home.name}: owned line 0x{resident.line:x}"
+                            " is not pinned")
+                    key = (resident.line, index)
+                    caches = holders.get(key, [])
+                    if caches and caches != [owner]:
+                        detail = (f"{home.name}: word 0x{resident.line:x}"
+                                  f"[{index}] owner recorded as {owner} "
+                                  f"but held writable by {caches}")
+                        if final or \
+                                self._pending_mismatches.get(key) == detail:
+                            raise InvariantViolation(
+                                detail + " (persisted across audits)"
+                                if not final else detail)
+                        fresh_mismatches[key] = detail
+                if owned_any and resident.state == HomeState.S:
+                    raise InvariantViolation(
+                        f"{home.name}: line 0x{resident.line:x} has "
+                        "owned words while in Shared state")
+        self._pending_mismatches = fresh_mismatches
+
+    def _check_sharer_soundness(self) -> None:
+        """Every stable MESI S copy must be reachable by invalidation:
+        either its home line is in S with the cache listed as a sharer,
+        or an invalidation/transition for the line is still in flight
+        (home blocked or L1 transient)."""
+        for l1 in self._l1s():
+            if not isinstance(l1, MESIL1):
+                continue
+            home = self._home_of(l1)
+            if home is None:      # hierarchical MESI L1s talk to the dir
+                continue
+            for resident in l1.array.lines():
+                if resident.state != MesiState.S:
+                    continue
+                home_line = home.array.lookup(resident.line, touch=False)
+                if home_line is None:
+                    raise InvariantViolation(
+                        f"{l1.name}: S copy of 0x{resident.line:x} but "
+                        f"the line is absent at {home.name}")
+                blocked = bool(home_line.meta.get("blocked_mask"))
+                sharers = home_line.meta.get("sharers", set())
+                if home_line.state == HomeState.S and \
+                        l1.name not in sharers and not blocked:
+                    raise InvariantViolation(
+                        f"{l1.name}: unrecorded sharer of "
+                        f"0x{resident.line:x}")
+
+    def _check_value_agreement(self) -> None:
+        for home in self._homes():
+            for resident in home.array.lines():
+                for index in range(16):
+                    if resident.owner[index] is not None:
+                        continue
+                    expected = resident.data[index]
+                    for l1 in self._l1s():
+                        if self._home_of(l1) is not home:
+                            continue
+                        copy = l1.array.lookup(resident.line, touch=False)
+                        if copy is None:
+                            continue
+                        if isinstance(l1, MESIL1) and \
+                                copy.state == MesiState.S:
+                            if copy.data[index] != expected:
+                                raise InvariantViolation(
+                                    f"{l1.name}: stale S value at "
+                                    f"0x{resident.line:x}[{index}]: "
+                                    f"{copy.data[index]} != {expected}")
+
+
+def check_final_state(system) -> None:
+    """One-shot audit after quiescence (value agreement included)."""
+    checker = InvariantChecker(system)
+    checker.audit(final=True)

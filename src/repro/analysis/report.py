@@ -1,0 +1,184 @@
+"""Experiment harness and paper-style reporting.
+
+Runs a workload across the Table V configurations, normalizes execution
+time and network traffic to HMG (as Figures 2 and 3 do), computes the
+Hbest / Sbest aggregates the paper reports, and renders ASCII charts of
+the traffic stacks by request class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+from ..system.builder import build_system
+from ..system.config import (CONFIG_ORDER, HIERARCHICAL_CONFIGS,
+                             SPANDEX_CONFIGS, scaled_config)
+from ..workloads.base import Workload
+
+#: traffic classes in the order the paper's figure legends use
+TRAFFIC_CLASSES = ("ReqV", "ReqS", "ReqWT", "ReqO", "ReqWT+data",
+                   "ReqO+data", "ReqWB", "Probe")
+
+
+@dataclass
+class ConfigResult:
+    config: str
+    cycles: int
+    network_bytes: float
+    traffic: Dict[str, float]
+    counters: Dict[str, float] = field(default_factory=dict)
+    memory_ok: Optional[bool] = None
+
+
+@dataclass
+class WorkloadResult:
+    """All configurations' results for one workload."""
+
+    workload: str
+    results: Dict[str, ConfigResult]
+
+    def normalized_time(self, base: str = "HMG") -> Dict[str, float]:
+        base_cycles = self.results[base].cycles
+        return {name: r.cycles / base_cycles
+                for name, r in self.results.items()}
+
+    def normalized_traffic(self, base: str = "HMG") -> Dict[str, float]:
+        base_bytes = self.results[base].network_bytes
+        return {name: r.network_bytes / base_bytes
+                for name, r in self.results.items()}
+
+    def best(self, names: Sequence[str], metric: str = "cycles") -> str:
+        """Config among ``names`` with the lowest execution time."""
+        present = [n for n in names if n in self.results]
+        if not present:
+            raise ValueError(f"none of {names} were run")
+        return min(present,
+                   key=lambda n: getattr(self.results[n], metric))
+
+    def hbest(self) -> str:
+        return self.best(HIERARCHICAL_CONFIGS)
+
+    def sbest(self) -> str:
+        return self.best(SPANDEX_CONFIGS)
+
+    def sbest_vs_hbest(self) -> Dict[str, float]:
+        """Fractional reduction of Sbest relative to Hbest (paper's
+        headline metric): positive = Spandex better."""
+        hb = self.results[self.hbest()]
+        sb = self.results[self.sbest()]
+        return {
+            "time_reduction": 1.0 - sb.cycles / hb.cycles,
+            "traffic_reduction": 1.0 - sb.network_bytes / hb.network_bytes,
+        }
+
+
+class ExperimentRunner:
+    """Run one workload generator across configurations."""
+
+    def __init__(self, num_cpus: int = 4, num_gpus: int = 4,
+                 warps_per_cu: int = 2,
+                 configs: Sequence[str] = CONFIG_ORDER,
+                 validate_memory: bool = True,
+                 max_events: int = 60_000_000):
+        self.num_cpus = num_cpus
+        self.num_gpus = num_gpus
+        self.warps_per_cu = warps_per_cu
+        self.configs = list(configs)
+        self.validate_memory = validate_memory
+        self.max_events = max_events
+
+    def workload_kwargs(self) -> Dict[str, int]:
+        return dict(num_cpus=self.num_cpus, num_gpus=self.num_gpus,
+                    warps_per_cu=self.warps_per_cu)
+
+    def run(self, name: str,
+            generator: Callable[..., Workload],
+            **extra) -> WorkloadResult:
+        kwargs = self.workload_kwargs()
+        kwargs.update(extra)
+        workload = generator(**kwargs)
+        reference = workload.reference() if self.validate_memory else None
+        results: Dict[str, ConfigResult] = {}
+        for config_name in self.configs:
+            system = build_system(scaled_config(
+                config_name, self.num_cpus, self.num_gpus))
+            system.load_workload(workload)
+            run = system.run(max_events=self.max_events)
+            memory_ok = None
+            if reference is not None:
+                memory_ok = all(
+                    system.read_coherent(addr) == value
+                    for addr, value in reference.memory.items())
+            results[config_name] = ConfigResult(
+                config=config_name, cycles=run.cycles,
+                network_bytes=run.network_bytes,
+                traffic=run.traffic_by_class(),
+                counters=dict(run.stats.counters()),
+                memory_ok=memory_ok)
+        return WorkloadResult(name, results)
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+def format_figure(results: Iterable[WorkloadResult],
+                  title: str, base: str = "HMG") -> str:
+    """Paper-figure-style table: normalized time and traffic rows."""
+    results = list(results)
+    configs = list(results[0].results)
+    lines = [f"== {title} (normalized to {base}) ==",
+             f"{'workload':<14}" + "".join(f"{c:>14}" for c in configs)]
+    lines.append(f"{'':14}" + "".join(f"{'time/traffic':>14}"
+                                      for _ in configs))
+    for wr in results:
+        times = wr.normalized_time(base)
+        traffic = wr.normalized_traffic(base)
+        cells = "".join(f"{times[c]:>7.2f}/{traffic[c]:<6.2f}"
+                        for c in configs)
+        lines.append(f"{wr.workload:<14}{cells}")
+    reductions = [wr.sbest_vs_hbest() for wr in results]
+    avg_t = sum(r["time_reduction"] for r in reductions) / len(reductions)
+    avg_b = sum(r["traffic_reduction"] for r in reductions) / len(reductions)
+    max_t = max(r["time_reduction"] for r in reductions)
+    max_b = max(r["traffic_reduction"] for r in reductions)
+    lines.append(f"Sbest vs Hbest: execution time -{avg_t:.0%} "
+                 f"(max -{max_t:.0%}), network traffic -{avg_b:.0%} "
+                 f"(max -{max_b:.0%})")
+    return "\n".join(lines)
+
+
+def format_traffic_stack(result: WorkloadResult, base: str = "HMG") -> str:
+    """Per-class traffic breakdown (the stacked bars of Figs 2/3)."""
+    base_total = result.results[base].network_bytes
+    lines = [f"-- {result.workload}: traffic by request class "
+             f"(fraction of {base} total) --"]
+    header = f"{'class':<12}" + "".join(
+        f"{c:>8}" for c in result.results)
+    lines.append(header)
+    for cls in TRAFFIC_CLASSES:
+        row = f"{cls:<12}"
+        for config_result in result.results.values():
+            frac = config_result.traffic.get(cls, 0.0) / base_total
+            row += f"{frac:>8.3f}"
+        lines.append(row)
+    total_row = f"{'total':<12}"
+    for config_result in result.results.values():
+        total_row += f"{config_result.network_bytes / base_total:>8.3f}"
+    lines.append(total_row)
+    return "\n".join(lines)
+
+
+def summarize_headline(app_results: Iterable[WorkloadResult]) -> Dict[str, float]:
+    """Aggregate Sbest-vs-Hbest reductions (paper abstract numbers)."""
+    reductions = [wr.sbest_vs_hbest() for wr in app_results]
+    return {
+        "avg_time_reduction":
+            sum(r["time_reduction"] for r in reductions) / len(reductions),
+        "max_time_reduction":
+            max(r["time_reduction"] for r in reductions),
+        "avg_traffic_reduction":
+            sum(r["traffic_reduction"] for r in reductions) / len(reductions),
+        "max_traffic_reduction":
+            max(r["traffic_reduction"] for r in reductions),
+    }

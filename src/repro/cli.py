@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — available workloads and configurations;
+* ``run`` — run one workload on one (or every) configuration, with
+  optional memory validation and runtime invariant auditing;
+* ``figure2`` / ``figure3`` — regenerate the paper's figures;
+* ``headline`` — the paper's Sbest-vs-Hbest summary numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (ExperimentRunner, InvariantChecker, format_figure,
+                       format_traffic_stack, summarize_headline)
+from .system import CONFIG_ORDER, CONFIGS, build_system, scaled_config
+from .workloads import (APPLICATIONS, MICROBENCHMARKS, load_workload,
+                        save_workload)
+
+ALL_WORKLOADS = {}
+ALL_WORKLOADS.update(MICROBENCHMARKS)
+ALL_WORKLOADS.update(APPLICATIONS)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Spandex (ISCA 2018) heterogeneous-coherence "
+                    "simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and configurations")
+
+    run = sub.add_parser("run", help="run one workload")
+    run.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    run.add_argument("--config", default="SDD",
+                     choices=list(CONFIG_ORDER) + ["all"])
+    run.add_argument("--cpus", type=int, default=2)
+    run.add_argument("--gpus", type=int, default=4)
+    run.add_argument("--warps", type=int, default=2)
+    run.add_argument("--check", action="store_true",
+                     help="validate final memory against the DRF "
+                          "reference executor")
+    run.add_argument("--invariants", action="store_true",
+                     help="audit coherence invariants during the run")
+    run.add_argument("--traffic", action="store_true",
+                     help="print the per-class traffic breakdown")
+
+    for figure, workloads in (("figure2", MICROBENCHMARKS),
+                              ("figure3", APPLICATIONS)):
+        fig = sub.add_parser(figure,
+                             help=f"regenerate the paper's {figure}")
+        fig.add_argument("--cpus", type=int, default=4)
+        fig.add_argument("--gpus", type=int, default=4)
+        fig.add_argument("--warps", type=int, default=2)
+
+    head = sub.add_parser("headline",
+                          help="Sbest-vs-Hbest summary (paper abstract)")
+    head.add_argument("--cpus", type=int, default=4)
+    head.add_argument("--gpus", type=int, default=4)
+    head.add_argument("--warps", type=int, default=2)
+
+    save = sub.add_parser("save", help="serialize a workload's traces")
+    save.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    save.add_argument("path")
+    save.add_argument("--cpus", type=int, default=2)
+    save.add_argument("--gpus", type=int, default=4)
+    save.add_argument("--warps", type=int, default=2)
+
+    replay = sub.add_parser("replay", help="run serialized traces")
+    replay.add_argument("path")
+    replay.add_argument("--config", default="SDD",
+                        choices=list(CONFIG_ORDER))
+    replay.add_argument("--check", action="store_true")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("workloads:")
+    for name, generator in sorted(ALL_WORKLOADS.items()):
+        doc = (generator.__doc__ or "").strip().splitlines()
+        print(f"  {name:<14} {doc[0] if doc else ''}")
+    print("\nconfigurations (Table V):")
+    for name in CONFIG_ORDER:
+        print(f"  {CONFIGS[name].describe()}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    workload = ALL_WORKLOADS[args.workload](
+        num_cpus=args.cpus, num_gpus=args.gpus, warps_per_cu=args.warps)
+    reference = workload.reference() if args.check else None
+    configs = (list(CONFIG_ORDER) if args.config == "all"
+               else [args.config])
+    print(f"{args.workload}: {workload.total_ops():,} operations "
+          f"({args.cpus} CPUs, {args.gpus} CUs x {args.warps} warps)")
+    failures = 0
+    for config_name in configs:
+        system = build_system(scaled_config(config_name, args.cpus,
+                                            args.gpus))
+        system.load_workload(workload)
+        checker: Optional[InvariantChecker] = None
+        if args.invariants:
+            checker = InvariantChecker(system)
+        for core in system.cpus:
+            if core.trace:
+                core.start()
+        for cu in system.gpus:
+            if cu.warps:
+                cu.start()
+        if checker is not None:
+            checker.arm()
+        result_cycles = system.engine.run(max_events=200_000_000)
+        if checker is not None:
+            checker.audit(final=True)
+        bad = 0
+        if reference is not None:
+            bad = sum(1 for addr, value in reference.memory.items()
+                      if system.read_coherent(addr) != value)
+            failures += bad
+        line = (f"  {config_name}: {result_cycles:>10,} cycles  "
+                f"{system.stats.get('network.bytes'):>12,.0f} B")
+        if reference is not None:
+            line += f"  memory: {'OK' if bad == 0 else f'{bad} BAD'}"
+        if checker is not None:
+            line += f"  invariants: OK ({checker.audits} audits)"
+        print(line)
+        if args.traffic:
+            for cls, nbytes in sorted(
+                    system.stats.group("traffic.bytes").items()):
+                print(f"      {cls:<12} {nbytes:>12,.0f} B")
+    return 1 if failures else 0
+
+
+def _cmd_figure(args, workloads, title) -> int:
+    runner = ExperimentRunner(num_cpus=args.cpus, num_gpus=args.gpus,
+                              warps_per_cu=args.warps)
+    results = [runner.run(name, generator)
+               for name, generator in workloads.items()]
+    print(format_figure(results, title))
+    for result in results:
+        print()
+        print(format_traffic_stack(result))
+    return 0
+
+
+def _cmd_headline(args) -> int:
+    runner = ExperimentRunner(num_cpus=args.cpus, num_gpus=args.gpus,
+                              warps_per_cu=args.warps)
+    apps = [runner.run(name, generator)
+            for name, generator in APPLICATIONS.items()]
+    summary = summarize_headline(apps)
+    print("Sbest vs Hbest across the applications:")
+    print(f"  execution time:  -{summary['avg_time_reduction']:.0%} "
+          f"(max -{summary['max_time_reduction']:.0%})   "
+          "[paper: -16%, max -29%]")
+    print(f"  network traffic: -{summary['avg_traffic_reduction']:.0%} "
+          f"(max -{summary['max_traffic_reduction']:.0%})   "
+          "[paper: -27%, max -58%]")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure2":
+        return _cmd_figure(args, MICROBENCHMARKS,
+                           "Figure 2: microbenchmarks")
+    if args.command == "figure3":
+        return _cmd_figure(args, APPLICATIONS, "Figure 3: applications")
+    if args.command == "headline":
+        return _cmd_headline(args)
+    if args.command == "save":
+        workload = ALL_WORKLOADS[args.workload](
+            num_cpus=args.cpus, num_gpus=args.gpus,
+            warps_per_cu=args.warps)
+        save_workload(workload, args.path)
+        print(f"saved {workload.name}: {workload.total_ops():,} ops, "
+              f"{len(workload.cpu_traces)} CPU traces, "
+              f"{len(workload.gpu_traces)} CUs -> {args.path}")
+        return 0
+    if args.command == "replay":
+        workload = load_workload(args.path)
+        num_cpus = len(workload.cpu_traces)
+        num_gpus = len(workload.gpu_traces)
+        reference = workload.reference() if args.check else None
+        system = build_system(scaled_config(args.config, num_cpus,
+                                            num_gpus))
+        system.load_workload(workload)
+        result = system.run(max_events=200_000_000)
+        line = (f"{workload.name} on {args.config}: "
+                f"{result.cycles:,} cycles, "
+                f"{result.network_bytes:,.0f} B")
+        bad = 0
+        if reference is not None:
+            bad = sum(1 for addr, value in reference.memory.items()
+                      if system.read_coherent(addr) != value)
+            line += f"  memory: {'OK' if bad == 0 else f'{bad} BAD'}"
+        print(line)
+        return 1 if bad else 0
+    return 2
+
+
+if __name__ == "__main__":      # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Address geometry and the coherence message vocabulary."""
+from .addr import (FULL_LINE_MASK, LINE_BYTES, WORD_BYTES, WORDS_PER_LINE,
+                   iter_mask, line_of, mask_of, mask_of_words, popcount,
+                   word_addr, word_index)
+from .messages import (AtomicOp, Message, MsgKind, atomic_add, atomic_cas,
+                       atomic_exch, atomic_max)
+
+__all__ = ["FULL_LINE_MASK", "LINE_BYTES", "WORD_BYTES", "WORDS_PER_LINE",
+           "iter_mask", "line_of", "mask_of", "mask_of_words", "popcount",
+           "word_addr", "word_index", "AtomicOp", "Message", "MsgKind",
+           "atomic_add", "atomic_cas", "atomic_exch", "atomic_max"]

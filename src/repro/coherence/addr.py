@@ -1,0 +1,83 @@
+"""Address geometry: 64-byte lines, 4-byte words (16 words per line).
+
+Spandex communicates at word or line granularity and tracks LLC
+ownership per word, so everything in the simulator is phrased in terms
+of (line address, word mask) pairs.  A word mask is a 16-bit integer
+with bit *i* set when word *i* of the line is targeted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+LINE_BYTES = 64
+WORD_BYTES = 4
+WORDS_PER_LINE = LINE_BYTES // WORD_BYTES
+FULL_LINE_MASK = (1 << WORDS_PER_LINE) - 1
+_LINE_SHIFT = LINE_BYTES.bit_length() - 1
+_WORD_SHIFT = WORD_BYTES.bit_length() - 1
+
+
+def line_of(addr: int) -> int:
+    """Line-aligned byte address containing ``addr``."""
+    return addr & ~(LINE_BYTES - 1)
+
+
+def word_index(addr: int) -> int:
+    """Index (0..15) of the word containing ``addr`` within its line."""
+    return (addr >> _WORD_SHIFT) & (WORDS_PER_LINE - 1)
+
+
+def word_addr(line: int, index: int) -> int:
+    """Byte address of word ``index`` in ``line``."""
+    return line + (index << _WORD_SHIFT)
+
+def mask_of(addr: int) -> int:
+    """Single-word mask for the word containing ``addr``."""
+    return 1 << word_index(addr)
+
+
+def mask_of_words(indices: Iterable[int]) -> int:
+    """Mask with the given word indices set."""
+    mask = 0
+    for index in indices:
+        mask |= 1 << index
+    return mask
+
+
+def iter_mask(mask: int) -> Iterator[int]:
+    """Yield the word indices set in ``mask``, ascending."""
+    index = 0
+    while mask:
+        if mask & 1:
+            yield index
+        mask >>= 1
+        index += 1
+
+
+def popcount(mask: int) -> int:
+    """Number of words selected by ``mask``."""
+    return bin(mask).count("1")
+
+
+def split_line_range(base: int, nbytes: int) -> List[Tuple[int, int]]:
+    """Split a byte range into (line, word mask) pairs.
+
+    The range is word-aligned: ``base`` is rounded down and the end
+    rounded up to word boundaries, matching how a coalescer would treat
+    a sub-word access.
+    """
+    if nbytes <= 0:
+        return []
+    start = base & ~(WORD_BYTES - 1)
+    end = base + nbytes
+    pairs: List[Tuple[int, int]] = []
+    addr = start
+    while addr < end:
+        line = line_of(addr)
+        mask = 0
+        while addr < end and line_of(addr) == line:
+            mask |= 1 << word_index(addr)
+            addr += WORD_BYTES
+        pairs.append((line, mask))
+    return pairs

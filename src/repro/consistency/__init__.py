@@ -1,0 +1,6 @@
+"""SC-for-DRF reference execution and race detection (paper §III-E)."""
+from .reference import (DataRace, ReferenceExecutor, ReferenceResult,
+                        VectorClock, assert_drf)
+
+__all__ = ["DataRace", "ReferenceExecutor", "ReferenceResult",
+           "VectorClock", "assert_drf"]

@@ -1,0 +1,218 @@
+"""Sequential reference executor with DRF race detection.
+
+Spandex assumes SC-for-DRF (paper §III-E): conflicting data accesses in
+different threads must be separated by a happens-before chain of
+synchronization accesses.  This module executes a set of traces
+cooperatively (no timing), producing
+
+* the expected final memory image — the simulator's DRAM must match it
+  for deterministic workloads, giving an end-to-end correctness oracle;
+* a vector-clock data-race check — certifying that generated workloads
+  actually are DRF, so the protocols' relaxed behaviours (stale Valid
+  copies, non-atomic visibility windows) are legal.
+
+Synchronization edges recognized:
+
+* ``Op.rmw(..., release=True)`` publishes the thread's clock to the
+  sync variable; ``acquire=True`` joins the variable's clock.
+* a successful ``Op.spin_load`` joins the variable's clock (acquire);
+* a plain store executed after a release fence is a release-store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..workloads.trace import OpKind, Trace
+
+
+class DataRace(Exception):
+    """Two conflicting accesses without a happens-before ordering."""
+
+
+class VectorClock:
+    __slots__ = ("ticks",)
+
+    def __init__(self, nthreads: int):
+        self.ticks = [0] * nthreads
+
+    def copy(self) -> "VectorClock":
+        vc = VectorClock(len(self.ticks))
+        vc.ticks = list(self.ticks)
+        return vc
+
+    def join(self, other: "VectorClock") -> None:
+        self.ticks = [max(a, b) for a, b in zip(self.ticks, other.ticks)]
+
+    def happens_before(self, other: "VectorClock") -> bool:
+        return all(a <= b for a, b in zip(self.ticks, other.ticks))
+
+
+class _Thread:
+    __slots__ = ("tid", "trace", "pc", "clock", "release_pending", "spins")
+
+    def __init__(self, tid: int, trace: Trace, nthreads: int):
+        self.tid = tid
+        self.trace = trace
+        self.pc = 0
+        self.clock = VectorClock(nthreads)
+        self.release_pending = False
+        self.spins = 0
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.trace)
+
+
+class ReferenceResult:
+    def __init__(self, memory: Dict[int, int], sync_addrs: Set[int],
+                 races: List[str]):
+        #: word address -> final value (absent words are 0)
+        self.memory = memory
+        self.sync_addrs = sync_addrs
+        self.races = races
+
+    def value(self, addr: int) -> int:
+        return self.memory.get(addr, 0)
+
+
+class ReferenceExecutor:
+    """Cooperatively execute traces; detect races; compute final memory."""
+
+    def __init__(self, traces: Sequence[Trace],
+                 check_races: bool = True,
+                 max_steps: int = 50_000_000):
+        self.traces = list(traces)
+        self.check_races = check_races
+        self.max_steps = max_steps
+
+    def run(self) -> ReferenceResult:
+        nthreads = len(self.traces)
+        threads = [_Thread(tid, trace, nthreads)
+                   for tid, trace in enumerate(self.traces)]
+        memory: Dict[int, int] = {}
+        sync_clock: Dict[int, VectorClock] = {}
+        last_writer: Dict[int, Tuple[int, VectorClock]] = {}
+        readers: Dict[int, List[Tuple[int, VectorClock]]] = {}
+        sync_addrs: Set[int] = set()
+        races: List[str] = []
+
+        def tick(thread: _Thread) -> None:
+            thread.clock.ticks[thread.tid] += 1
+
+        def check_write(thread: _Thread, addr: int) -> None:
+            if not self.check_races or addr in sync_addrs:
+                return
+            writer = last_writer.get(addr)
+            if writer is not None and writer[0] != thread.tid and \
+                    not writer[1].happens_before(thread.clock):
+                races.append(f"W-W race on 0x{addr:x}: "
+                             f"t{writer[0]} vs t{thread.tid}")
+            for reader_tid, reader_clock in readers.get(addr, []):
+                if reader_tid != thread.tid and \
+                        not reader_clock.happens_before(thread.clock):
+                    races.append(f"R-W race on 0x{addr:x}: "
+                                 f"t{reader_tid} vs t{thread.tid}")
+            last_writer[addr] = (thread.tid, thread.clock.copy())
+            readers[addr] = []
+
+        def check_read(thread: _Thread, addr: int) -> None:
+            if not self.check_races or addr in sync_addrs:
+                return
+            writer = last_writer.get(addr)
+            if writer is not None and writer[0] != thread.tid and \
+                    not writer[1].happens_before(thread.clock):
+                races.append(f"W-R race on 0x{addr:x}: "
+                             f"t{writer[0]} vs t{thread.tid}")
+            readers.setdefault(addr, []).append(
+                (thread.tid, thread.clock.copy()))
+
+        def step(thread: _Thread) -> bool:
+            """Execute one op; returns False if the thread must yield."""
+            op = thread.trace[thread.pc]
+            if op.kind == OpKind.COMPUTE or op.kind == OpKind.ACQUIRE:
+                thread.pc += 1
+                return True
+            if op.kind == OpKind.RELEASE:
+                thread.release_pending = True
+                thread.pc += 1
+                return True
+            if op.kind == OpKind.LOAD:
+                tick(thread)
+                for addr in op.addrs:
+                    check_read(thread, addr)
+                thread.pc += 1
+                return True
+            if op.kind == OpKind.STORE:
+                tick(thread)
+                release = thread.release_pending
+                for addr in op.addrs:
+                    if release:
+                        sync_addrs.add(addr)
+                        clock = sync_clock.setdefault(
+                            addr, VectorClock(nthreads))
+                        clock.join(thread.clock)
+                    else:
+                        check_write(thread, addr)
+                    memory[addr] = op.value
+                thread.release_pending = False
+                thread.pc += 1
+                return True
+            if op.kind == OpKind.RMW:
+                tick(thread)
+                addr = op.addrs[0]
+                sync_addrs.add(addr)
+                clock = sync_clock.setdefault(addr, VectorClock(nthreads))
+                if op.acquire:
+                    thread.clock.join(clock)
+                old = memory.get(addr, 0)
+                memory[addr] = op.atomic.apply(old)
+                if op.release or not op.acquire:
+                    # plain atomics still order within the sync var
+                    clock.join(thread.clock)
+                thread.pc += 1
+                return True
+            if op.kind == OpKind.SPIN_LOAD:
+                addr = op.addrs[0]
+                sync_addrs.add(addr)
+                if op.spin_until(memory.get(addr, 0)):
+                    clock = sync_clock.setdefault(
+                        addr, VectorClock(nthreads))
+                    thread.clock.join(clock)
+                    thread.pc += 1
+                    return True
+                thread.spins += 1
+                return False
+            raise AssertionError(f"unhandled {op.kind}")
+
+        steps = 0
+        while True:
+            progressed = False
+            for thread in threads:
+                while not thread.done:
+                    steps += 1
+                    if steps > self.max_steps:
+                        raise RuntimeError(
+                            "reference execution exceeded step budget "
+                            "(deadlocked synchronization?)")
+                    if not step(thread):
+                        break
+                    progressed = True
+            if all(t.done for t in threads):
+                break
+            if not progressed:
+                stuck = [t.tid for t in threads if not t.done]
+                raise RuntimeError(
+                    f"reference execution deadlocked; threads {stuck} "
+                    "are spinning on conditions that can never be met")
+        return ReferenceResult(memory, sync_addrs, races)
+
+
+def assert_drf(traces: Sequence[Trace]) -> ReferenceResult:
+    """Run the reference executor and raise :class:`DataRace` if any
+    conflicting unsynchronized accesses were observed."""
+    result = ReferenceExecutor(traces).run()
+    if result.races:
+        preview = "; ".join(result.races[:5])
+        raise DataRace(f"{len(result.races)} race(s): {preview}")
+    return result

@@ -1,0 +1,8 @@
+"""The Spandex coherence interface: home-node protocol, LLC, and TUs."""
+from .home import HomeState, HomeTxn, SpandexHome, TABLE_III
+from .llc import SpandexLLC
+from .tu import (DeNovoTU, GPUCoherenceTU, MESITU, TranslationUnit, make_tu)
+
+__all__ = ["HomeState", "HomeTxn", "SpandexHome", "TABLE_III", "SpandexLLC",
+           "DeNovoTU", "GPUCoherenceTU", "MESITU", "TranslationUnit",
+           "make_tu"]

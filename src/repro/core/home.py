@@ -1,0 +1,589 @@
+"""Spandex home-node protocol logic (paper §III-B).
+
+:class:`SpandexHome` implements the request handling and state
+transition machinery of the Spandex LLC: four stable states (I, V, S
+per line; O tracked per word with the owner id stored in the data
+field), the Table III transition/forward matrix, blocking transient
+states for sharer invalidation and revocation writebacks, non-blocking
+ownership transfer, and the ReqS policy choice (option (1)
+writer-initiated sharing vs option (3) exclusive grant).
+
+The class is reused twice:
+
+* ``repro.core.llc.SpandexLLC`` — DRAM-backed, the flat Spandex LLC;
+* ``repro.protocols.gpu_l2.GPUL2`` — the hierarchical baseline's
+  intermediate GPU L2, which is a Spandex-style home for the GPU L1s
+  but a MESI client toward the directory L3.
+
+Subclasses supply the backing store through ``_backing_fetch``,
+``_backing_grant_write``, ``_backing_writeback`` and may veto/extend
+eviction.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, Dict, List, Optional, Set
+
+from ..coherence.addr import (FULL_LINE_MASK, WORDS_PER_LINE,
+                               iter_mask)
+from ..coherence.messages import Message, MsgKind
+from ..mem.cache import CacheArray, CacheLine
+from ..network.noc import Network
+from ..sim.engine import Component, Engine, SimulationError
+from ..sim.stats import StatsRegistry
+
+
+class HomeState(enum.Enum):
+    I = "I"
+    V = "V"
+    S = "S"
+
+
+#: Table III — the stable next state at the LLC per request type and the
+#: message forwarded to the owning core when the word is in O state.
+#: (ReqS shows option (1); options (2)/(3) are policy, see _reqs_option.)
+TABLE_III = {
+    MsgKind.REQ_V: {"next": None, "fwd": MsgKind.REQ_V},
+    MsgKind.REQ_S: {"next": HomeState.S, "fwd": MsgKind.REQ_S},
+    MsgKind.REQ_WT: {"next": HomeState.V, "fwd": MsgKind.REQ_WT},
+    MsgKind.REQ_O: {"next": "O", "fwd": MsgKind.REQ_O},
+    MsgKind.REQ_WT_DATA: {"next": HomeState.V, "fwd": MsgKind.RVK_O},
+    MsgKind.REQ_O_DATA: {"next": "O", "fwd": MsgKind.REQ_O_DATA},
+    MsgKind.REQ_WB: {"next": HomeState.V, "fwd": None},
+}
+
+
+class HomeTxn:
+    """A blocking transient: words blocked while acks / data collect."""
+
+    _ids = itertools.count(1)
+    __slots__ = ("txn_id", "line", "mask", "acks_needed", "data_mask",
+                 "data", "on_complete", "kind")
+
+    def __init__(self, line: int, mask: int, kind: str,
+                 on_complete: Callable[["HomeTxn"], None]):
+        self.txn_id = next(HomeTxn._ids)
+        self.line = line
+        self.mask = mask
+        self.kind = kind
+        self.acks_needed = 0
+        self.data_mask = 0         # words still awaiting writeback data
+        self.data: Dict[int, int] = {}
+        self.on_complete = on_complete
+
+    @property
+    def done(self) -> bool:
+        return self.acks_needed == 0 and self.data_mask == 0
+
+
+class SpandexHome(Component):
+    """Shared Spandex home-node machinery (see module docstring)."""
+
+    def __init__(self, engine: Engine, name: str, network: Network,
+                 stats: StatsRegistry, size_bytes: int, assoc: int = 16,
+                 access_latency: int = 10, banks: int = 16,
+                 bank_busy_cycles: int = 2):
+        super().__init__(engine, name)
+        self.network = network
+        self.stats = stats
+        self.array: CacheArray[HomeState] = CacheArray(
+            size_bytes, assoc, HomeState.I)
+        self.access_latency = access_latency
+        self.banks = banks
+        self.bank_busy_cycles = bank_busy_cycles
+        self._bank_free = [0] * banks
+        #: device/TU name -> protocol family ('MESI' | 'DeNovo' | 'GPU')
+        self.device_protocols: Dict[str, str] = {}
+        self._txns: Dict[int, HomeTxn] = {}
+        self._deferred: Dict[int, List[Message]] = {}
+        self._fetching: Set[int] = set()
+        #: ReqS handling policy (paper §III-B): 'auto' follows the
+        #: evaluation choice (option (1) for S-state or MESI-owned
+        #: data, option (3) otherwise); 'option1' always implements
+        #: writer-initiated Shared state; 'option3' always grants
+        #: exclusivity.  Exposed for the ablation benchmarks.
+        self.reqs_policy = "auto"
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # backing-store hooks (overridden by LLC / GPU L2)
+    # ------------------------------------------------------------------
+    def _backing_fetch(self, line: int,
+                       callback: Callable[[Dict[int, int]], None]) -> None:
+        raise NotImplementedError
+
+    def _backing_grant_write(self, line: int,
+                             callback: Callable[[], None]) -> None:
+        """Ensure the backing permits local writes to ``line``."""
+        raise NotImplementedError
+
+    def _backing_writeback(self, line: int, mask: int,
+                           values: Dict[int, int]) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # network entry: bank arbitration then protocol processing
+    # ------------------------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        bank = (msg.line >> 6) % self.banks
+        start = max(self.now, self._bank_free[bank])
+        self._bank_free[bank] = start + self.bank_busy_cycles
+        delay = (start - self.now) + self.access_latency
+        self.schedule(delay, lambda: self._dispatch(msg),
+                      label=f"home:{msg.kind.value}")
+
+    def _dispatch(self, msg: Message) -> None:
+        if msg.kind in (MsgKind.ACK, MsgKind.RSP_RVK_O):
+            self._handle_probe_response(msg)
+            return
+        if msg.kind in TABLE_III:
+            self.stats.incr_group("llc.requests", msg.kind.value)
+            self._process_request(msg)
+            return
+        self._dispatch_other(msg)
+
+    def _dispatch_other(self, msg: Message) -> None:
+        raise SimulationError(f"{self.name}: unexpected message {msg}")
+
+    # ------------------------------------------------------------------
+    # deferral / blocking machinery
+    # ------------------------------------------------------------------
+    def _blocked_mask(self, line_obj: Optional[CacheLine]) -> int:
+        if line_obj is None:
+            return 0
+        return int(line_obj.meta.get("blocked_mask", 0))
+
+    def _block_words(self, line_obj: CacheLine, mask: int) -> None:
+        line_obj.meta["blocked_mask"] = self._blocked_mask(line_obj) | mask
+        line_obj.pin()
+
+    def _unblock_words(self, line_obj: CacheLine, mask: int) -> None:
+        line_obj.meta["blocked_mask"] = self._blocked_mask(line_obj) & ~mask
+        line_obj.unpin()
+        self._replay_deferred(line_obj.line)
+
+    def _defer(self, msg: Message) -> None:
+        self.stats.incr("llc.deferred")
+        self._deferred.setdefault(msg.line, []).append(msg)
+
+    def _replay_deferred(self, line: int) -> None:
+        queue = self._deferred.pop(line, None)
+        if not queue:
+            return
+        for msg in queue:
+            # Re-enter through _process_request so still-blocked ones
+            # re-defer in their original order.
+            self._process_request(msg)
+
+    # ------------------------------------------------------------------
+    # line residency
+    # ------------------------------------------------------------------
+    def _set_word_owner(self, line_obj: CacheLine, index: int,
+                        owner: Optional[str]) -> None:
+        """Update a word's owner, pinning owned lines (inclusivity)."""
+        had = any(o is not None for o in line_obj.owner)
+        line_obj.owner[index] = owner
+        has = any(o is not None for o in line_obj.owner)
+        if has and not had:
+            line_obj.pin()
+        elif had and not has:
+            line_obj.unpin()
+
+    def _owned_mask(self, line_obj: CacheLine) -> int:
+        mask = 0
+        for index, owner in enumerate(line_obj.owner):
+            if owner is not None:
+                mask |= 1 << index
+        return mask
+
+    def _sharers(self, line_obj: CacheLine) -> Set[str]:
+        return line_obj.meta.setdefault("sharers", set())
+
+    def _dirty_mask(self, line_obj: CacheLine) -> int:
+        return int(line_obj.meta.get("dirty_mask", 0))
+
+    def _mark_dirty(self, line_obj: CacheLine, mask: int) -> None:
+        line_obj.meta["dirty_mask"] = self._dirty_mask(line_obj) | mask
+
+    def _ensure_resident(self, msg: Message) -> Optional[CacheLine]:
+        """Return the resident line, or start a fill and defer ``msg``."""
+        line_obj = self.array.lookup(msg.line)
+        if line_obj is not None and line_obj.state != HomeState.I:
+            return line_obj
+        self._defer(msg)
+        if msg.line in self._fetching:
+            return None
+        self._fetching.add(msg.line)
+        self.stats.incr("llc.fills")
+        self._make_room(msg.line, lambda: self._backing_fetch(
+            msg.line, lambda data: self._fill_complete(msg.line, data)))
+        return None
+
+    def _fill_complete(self, line: int, data: Dict[int, int]) -> None:
+        line_obj = self.array.lookup(line)
+        if line_obj is None:
+            line_obj = self.array.install(line)
+        if line_obj.state == HomeState.I:
+            line_obj.state = HomeState.V
+        # Merge, never clobber: a racing local update (e.g. an atomic
+        # that piggybacked on the same upstream grant at the GPU L2)
+        # may already have dirtied words, and owned words' data fields
+        # belong to their owners.
+        protect = self._owned_mask(line_obj) | self._dirty_mask(line_obj)
+        for index in range(WORDS_PER_LINE):
+            if not (protect >> index) & 1:
+                line_obj.data[index] = data.get(index, 0)
+        self._fetching.discard(line)
+        self._replay_deferred(line)
+
+    def _make_room(self, line: int, then: Callable[[], None]) -> None:
+        """Evict as needed so ``line`` can be installed, then continue."""
+        victim = self.array.victim_for(line)
+        if victim is None:
+            then()
+            return
+        self._evict(victim, lambda: self._make_room(line, then))
+
+    def _evict(self, victim: CacheLine, then: Callable[[], None]) -> None:
+        """Evict ``victim`` (never holds owned words: those are pinned)."""
+        self.stats.incr("llc.evictions")
+        sharers = self._sharers(victim)
+        if victim.state == HomeState.S and sharers:
+            txn = HomeTxn(victim.line, FULL_LINE_MASK, "evict-inv",
+                          lambda t: self._evict_finish(victim, then))
+            self._begin_invalidate(victim, FULL_LINE_MASK, set(), txn)
+            return
+        self._evict_finish(victim, then)
+
+    def _evict_finish(self, victim: CacheLine, then: Callable[[], None]) -> None:
+        dirty = self._dirty_mask(victim)
+        if dirty:
+            self._backing_writeback(
+                victim.line, dirty, victim.read_data(dirty))
+        self.array.evict(victim.line)
+        then()
+
+    # ------------------------------------------------------------------
+    # probes
+    # ------------------------------------------------------------------
+    def _begin_invalidate(self, line_obj: CacheLine, mask: int,
+                          exclude: Set[str], txn: HomeTxn) -> None:
+        """Send Inv to all sharers (minus ``exclude``); block words."""
+        sharers = self._sharers(line_obj)
+        targets = sorted(sharers - exclude)
+        txn.acks_needed += len(targets)
+        self._txns[txn.txn_id] = txn
+        self._block_words(line_obj, mask)
+        line_obj.meta["sharers"] = set()
+        if line_obj.state == HomeState.S:
+            line_obj.state = HomeState.V
+        for target in targets:
+            self.stats.incr("llc.invalidations_sent")
+            self.network.send(Message(
+                MsgKind.INV, line_obj.line, mask, src=self.name,
+                dst=target, req_id=txn.txn_id))
+        if txn.done:
+            self._finish_txn(txn)
+
+    def _begin_revoke(self, line_obj: CacheLine, mask: int,
+                      txn: HomeTxn) -> None:
+        """RvkO every owner of words in ``mask``; block until data back."""
+        by_owner = self._group_by_owner(line_obj, mask)
+        txn.data_mask |= mask_union(by_owner)
+        self._txns[txn.txn_id] = txn
+        self._block_words(line_obj, mask)
+        for owner, owner_mask in sorted(by_owner.items()):
+            self.stats.incr("llc.revokes_sent")
+            self.network.send(Message(
+                MsgKind.RVK_O, line_obj.line, owner_mask, src=self.name,
+                dst=owner, req_id=txn.txn_id))
+        if txn.done:
+            self._finish_txn(txn)
+
+    def _handle_probe_response(self, msg: Message) -> None:
+        txn = self._txns.get(msg.req_id)
+        if txn is None:
+            raise SimulationError(f"{self.name}: orphan probe response {msg}")
+        if msg.kind == MsgKind.ACK:
+            txn.acks_needed -= 1
+        else:  # RspRvkO carries writeback data for the revoked words
+            line_obj = self.array.lookup(msg.line, touch=False)
+            if line_obj is not None:
+                for index in iter_mask(msg.mask & txn.data_mask):
+                    if index in msg.data:
+                        line_obj.data[index] = msg.data[index]
+                        self._mark_dirty(line_obj, 1 << index)
+                    if line_obj.owner[index] == msg.src:
+                        self._set_word_owner(line_obj, index, None)
+            txn.data_mask &= ~msg.mask
+        if txn.done:
+            self._finish_txn(txn)
+
+    def _finish_txn(self, txn: HomeTxn) -> None:
+        self._txns.pop(txn.txn_id, None)
+        line_obj = self.array.lookup(txn.line, touch=False)
+        if line_obj is not None:
+            # Unblock before on_complete so a retried request proceeds
+            # immediately (it is the oldest waiter); deferred requests
+            # replay afterwards, preserving per-line FIFO order.
+            line_obj.meta["blocked_mask"] = \
+                self._blocked_mask(line_obj) & ~txn.mask
+            line_obj.unpin()
+        txn.on_complete(txn)
+        self._replay_deferred(txn.line)
+
+    # ------------------------------------------------------------------
+    # request processing (Table III)
+    # ------------------------------------------------------------------
+    def _process_request(self, msg: Message) -> None:
+        line_obj = self.array.lookup(msg.line)
+        if line_obj is not None and (self._blocked_mask(line_obj) & msg.mask):
+            self._defer(msg)
+            return
+        if msg.kind == MsgKind.REQ_WB:
+            self._handle_reqwb(msg)
+            return
+        line_obj = self._ensure_resident(msg)
+        if line_obj is None:
+            return
+        handler = {
+            MsgKind.REQ_V: self._handle_reqv,
+            MsgKind.REQ_S: self._handle_reqs,
+            MsgKind.REQ_WT: self._handle_write,
+            MsgKind.REQ_O: self._handle_write,
+            MsgKind.REQ_WT_DATA: self._handle_atomic,
+            MsgKind.REQ_O_DATA: self._handle_write,
+        }[msg.kind]
+        handler(msg, line_obj)
+
+    # -- ReqV ------------------------------------------------------------
+    def _handle_reqv(self, msg: Message, line_obj: CacheLine) -> None:
+        owned = self._owned_mask(line_obj) & msg.mask
+        # Forward word-granularity ReqV per remote owner; the owner
+        # responds directly to the requestor (Figure 1c).  No state
+        # transition, no blocking.
+        self._forward_per_owner(msg, line_obj, owned, MsgKind.REQ_V)
+        if msg.mask & ~owned:
+            # Respond with every locally-available word of the line:
+            # line granularity for GPU requests, and DeNovo responses
+            # "may include any available up-to-date data in the line".
+            local = FULL_LINE_MASK & ~self._owned_mask(line_obj)
+            self._respond(msg, MsgKind.RSP_V, local,
+                          line_obj.read_data(local))
+
+    # -- ReqS ------------------------------------------------------------
+    def _use_option1(self, line_obj: CacheLine, mask: int) -> bool:
+        """ReqS policy (paper §III-B evaluation choice).
+
+        Option (1) — real writer-initiated Shared state — when the
+        target is already in S state or owned in a MESI core; option (3)
+        — treat as ReqO+data, granting exclusivity like MESI's E — in
+        all other situations.  The choice is made per line so a MESI
+        requestor ends with a single coherent line state.
+        """
+        if self.reqs_policy != "auto":
+            return self.reqs_policy == "option1"
+        if line_obj.state == HomeState.S:
+            return True
+        for index in iter_mask(mask):
+            owner = line_obj.owner[index]
+            if owner is not None and \
+                    self.device_protocols.get(owner) == "MESI":
+                return True
+        return False
+
+    def _handle_reqs(self, msg: Message, line_obj: CacheLine) -> None:
+        if not self._use_option1(line_obj, msg.mask):
+            self._grant_exclusive(msg, line_obj, msg.mask)
+            return
+        owned = self._owned_mask(line_obj) & msg.mask
+        plain = msg.mask & ~owned
+        if plain:
+            # Words up to date at the LLC: respond, record the sharer.
+            self._sharers(line_obj).add(msg.src)
+            line_obj.state = HomeState.S
+            self._respond(msg, MsgKind.RSP_S, plain,
+                          line_obj.read_data(plain))
+        if owned:
+            # Owned words: blocking — forward ReqS, wait for the owner's
+            # writeback (RspRvkO), then the words become S.
+            by_owner = self._group_by_owner(line_obj, owned)
+            for owner, owner_mask in sorted(by_owner.items()):
+                def complete(txn: HomeTxn, m=msg, lo=line_obj,
+                             prev=owner) -> None:
+                    lo.state = HomeState.S
+                    self._sharers(lo).add(m.src)
+                    if self.device_protocols.get(prev) == "MESI":
+                        # a MESI owner keeps a Shared copy (M -> S)
+                        self._sharers(lo).add(prev)
+                txn = HomeTxn(msg.line, owner_mask, f"reqs:{owner}",
+                              complete)
+                txn.data_mask = owner_mask
+                self._txns[txn.txn_id] = txn
+                self._block_words(line_obj, owner_mask)
+                for index in iter_mask(owner_mask):
+                    self._set_word_owner(line_obj, index, None)
+                self.network.send(Message(
+                    MsgKind.REQ_S, msg.line, owner_mask, src=self.name,
+                    dst=owner, req_id=msg.req_id, requestor=msg.src,
+                    meta={"txn_id": txn.txn_id}))
+
+    def _grant_exclusive(self, msg: Message, line_obj: CacheLine,
+                         mask: int) -> None:
+        """ReqS option (3): treat like ReqO+data (exclusive grant)."""
+        owned = self._owned_mask(line_obj) & mask
+        self._forward_per_owner(msg, line_obj, owned, MsgKind.REQ_O_DATA,
+                                grant_s=True)
+        for index in iter_mask(owned):
+            self._set_word_owner(line_obj, index, msg.src)
+        local = mask & ~owned
+        if local:
+            data = line_obj.read_data(local)
+            for index in iter_mask(local):
+                self._set_word_owner(line_obj, index, msg.src)
+            self._respond(msg, MsgKind.RSP_S, local, data,
+                          meta={"granted": "O"})
+
+    # -- write-class requests (ReqWT / ReqO / ReqO+data) -------------------
+    def _handle_write(self, msg: Message, line_obj: CacheLine) -> None:
+        if line_obj.state == HomeState.S and self._sharers(line_obj):
+            # Writer-invalidation overhead: Inv sharers, collect Acks,
+            # then retry this request (blocking transient).
+            txn = HomeTxn(msg.line, msg.mask, "write-inv",
+                          lambda t: self._process_request(msg))
+            self._begin_invalidate(line_obj, msg.mask, {msg.src}, txn)
+            return
+        if line_obj.state == HomeState.S:
+            line_obj.state = HomeState.V
+        self._backing_grant_write(
+            msg.line, lambda: self._perform_write(msg, line_obj))
+
+    def _perform_write(self, msg: Message, line_obj: CacheLine) -> None:
+        owned = self._owned_mask(line_obj) & msg.mask
+        foreign = 0
+        for index in iter_mask(owned):
+            if line_obj.owner[index] != msg.src:
+                foreign |= 1 << index
+        if msg.kind == MsgKind.REQ_WT:
+            # Immediate update + per-owner forwarded write-through; the
+            # previous owner answers the requestor (Figure 1d).
+            line_obj.write_data(msg.mask, msg.data)
+            self._mark_dirty(line_obj, msg.mask)
+            self._forward_per_owner(msg, line_obj, foreign, MsgKind.REQ_WT)
+            for index in iter_mask(msg.mask):
+                self._set_word_owner(line_obj, index, None)
+            local = msg.mask & ~foreign
+            if local:
+                self._respond(msg, MsgKind.RSP_WT, local, {})
+            return
+        # ReqO / ReqO+data: non-blocking ownership transfer.
+        fwd_kind = (MsgKind.REQ_O if msg.kind == MsgKind.REQ_O
+                    else MsgKind.REQ_O_DATA)
+        self._forward_per_owner(msg, line_obj, foreign, fwd_kind)
+        local = msg.mask & ~foreign
+        data = line_obj.read_data(local) \
+            if msg.kind == MsgKind.REQ_O_DATA else {}
+        for index in iter_mask(msg.mask):
+            self._set_word_owner(line_obj, index, msg.src)
+        if local:
+            rsp = (MsgKind.RSP_O if msg.kind == MsgKind.REQ_O
+                   else MsgKind.RSP_O_DATA)
+            self._respond(msg, rsp, local, data)
+
+    # -- ReqWT+data (atomics performed at the LLC) -------------------------
+    def _handle_atomic(self, msg: Message, line_obj: CacheLine) -> None:
+        if line_obj.state == HomeState.S and self._sharers(line_obj):
+            txn = HomeTxn(msg.line, msg.mask, "atomic-inv",
+                          lambda t: self._process_request(msg))
+            self._begin_invalidate(line_obj, msg.mask, {msg.src}, txn)
+            return
+        if line_obj.state == HomeState.S:
+            line_obj.state = HomeState.V
+        owned = self._owned_mask(line_obj) & msg.mask
+        if owned:
+            # Blocking: revoke ownership, wait for the writeback, then
+            # retry (Figure 1b).
+            txn = HomeTxn(msg.line, owned, "atomic-rvk",
+                          lambda t: self._process_request(msg))
+            self._begin_revoke(line_obj, owned, txn)
+            return
+        self._backing_grant_write(
+            msg.line, lambda: self._perform_atomic(msg, line_obj))
+
+    def _perform_atomic(self, msg: Message, line_obj: CacheLine) -> None:
+        self.stats.incr("llc.atomics")
+        old: Dict[int, int] = {}
+        for index in iter_mask(msg.mask):
+            old[index] = line_obj.data[index]
+            if msg.atomic is not None:
+                line_obj.data[index] = msg.atomic.apply(old[index])
+            elif index in msg.data:
+                line_obj.data[index] = msg.data[index]
+        self._mark_dirty(line_obj, msg.mask)
+        self._respond(msg, MsgKind.RSP_WT_DATA, msg.mask, old)
+
+    # -- ReqWB --------------------------------------------------------------
+    def _handle_reqwb(self, msg: Message) -> None:
+        line_obj = self.array.lookup(msg.line)
+        applied = 0
+        if line_obj is not None:
+            for index in iter_mask(msg.mask):
+                if line_obj.owner[index] == msg.src:
+                    self._set_word_owner(line_obj, index, None)
+                    if index in msg.data:
+                        line_obj.data[index] = msg.data[index]
+                    applied |= 1 << index
+            if applied:
+                self._mark_dirty(line_obj, applied)
+        # A write-back from a non-owner raced with an ownership transfer;
+        # ack it and drop the stale data (Table III last row).
+        if applied != msg.mask:
+            self.stats.incr("llc.stale_writebacks")
+        self._respond(msg, MsgKind.RSP_WB, msg.mask, {})
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _group_by_owner(self, line_obj: CacheLine,
+                        mask: int) -> Dict[str, int]:
+        by_owner: Dict[str, int] = {}
+        for index in iter_mask(mask):
+            owner = line_obj.owner[index]
+            if owner is not None:
+                by_owner[owner] = by_owner.get(owner, 0) | (1 << index)
+        return by_owner
+
+    def _forward_per_owner(self, msg: Message, line_obj: CacheLine,
+                           mask: int, kind: MsgKind,
+                           grant_s: bool = False) -> None:
+        if not mask:
+            return
+        for owner, owner_mask in sorted(
+                self._group_by_owner(line_obj, mask).items()):
+            self.stats.incr("llc.forwards")
+            meta = {"grant_s": True} if grant_s else {}
+            data = {}
+            if kind == MsgKind.REQ_WT:
+                data = {i: msg.data[i] for i in iter_mask(owner_mask)
+                        if i in msg.data}
+            self.network.send(Message(
+                kind, msg.line, owner_mask, src=self.name, dst=owner,
+                req_id=msg.req_id, requestor=msg.src, data=data,
+                atomic=msg.atomic, meta=meta))
+
+    def _respond(self, msg: Message, kind: MsgKind, mask: int,
+                 data: Dict[int, int],
+                 meta: Optional[dict] = None) -> None:
+        self.network.send(Message(
+            kind, msg.line, mask, src=self.name, dst=msg.src,
+            req_id=msg.req_id, data=data, meta=meta or {},
+            is_line_granularity=msg.is_line_granularity))
+
+
+def mask_union(by_owner: Dict[str, int]) -> int:
+    mask = 0
+    for value in by_owner.values():
+        mask |= value
+    return mask

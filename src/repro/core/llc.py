@@ -1,0 +1,43 @@
+"""The flat Spandex LLC: DRAM-backed :class:`SpandexHome`.
+
+This is the coherence point of Spandex configurations (SMG, SMD, SDG,
+SDD): every device TU talks directly to this LLC with no intermediate
+cache level.  The LLC serializes all writes to an address and is
+inclusive for Owned data (owned words pin their line).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..mem.dram import MainMemory
+from ..network.noc import Network
+from ..sim.engine import Engine
+from ..sim.stats import StatsRegistry
+from .home import SpandexHome
+
+
+class SpandexLLC(SpandexHome):
+    """Spandex last-level cache backed by main memory."""
+
+    def __init__(self, engine: Engine, network: Network,
+                 stats: StatsRegistry, dram: MainMemory,
+                 size_bytes: int = 8 * 1024 * 1024, assoc: int = 16,
+                 access_latency: int = 10, banks: int = 16,
+                 name: str = "llc"):
+        super().__init__(engine, name, network, stats, size_bytes, assoc,
+                         access_latency, banks)
+        self.dram = dram
+
+    def _backing_fetch(self, line: int,
+                       callback: Callable[[Dict[int, int]], None]) -> None:
+        self.dram.fetch(line, callback)
+
+    def _backing_grant_write(self, line: int,
+                             callback: Callable[[], None]) -> None:
+        # Memory is always writable; the LLC is the point of coherence.
+        callback()
+
+    def _backing_writeback(self, line: int, mask: int,
+                           values: Dict[int, int]) -> None:
+        self.dram.writeback(line, mask, values)

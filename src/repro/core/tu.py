@@ -1,0 +1,304 @@
+"""Per-device translation units (paper §III-D).
+
+In Spandex configurations every device attaches to the system through a
+thin TU (single-cycle lookup, modelled as one cycle each way).  The TU
+is the device's network endpoint: it forwards the device cache's
+requests outward and fills the gaps between the Spandex interface and
+what the cache natively supports:
+
+* **GPU coherence TU** — retries a Nacked ReqV as an ordering-enforcing
+  ReqWT+data (GPU coherence alone has no retry path).  Partial-response
+  coalescing is handled by the shared reassembly machinery in
+  ``L1Controller``.
+* **DeNovo TU** — replaces a Nacked ReqV with a ReqO+data after one
+  failure (plain DeNovo would retry forever).
+* **MESI TU** — adapts word-granularity external requests to the
+  line-granularity MESI cache: converts partial downgrades into a line
+  downgrade plus a write-back of the non-requested words, answers
+  ownership-only requests immediately during pending ownership
+  upgrades, and serves requests for lines with a write-back in flight
+  from retained data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..coherence.addr import FULL_LINE_MASK, iter_mask
+from ..coherence.messages import Message, MsgKind
+from ..network.noc import Network
+from ..protocols.base import L1Controller
+from ..protocols.mesi import MESIL1
+from ..sim.engine import Component, Engine, SimulationError
+from ..sim.stats import StatsRegistry
+
+
+class TranslationUnit(Component):
+    """Base TU: network endpoint wrapping a device L1."""
+
+    PROTOCOL_FAMILY = "GPU"
+
+    def __init__(self, engine: Engine, network: Network,
+                 stats: StatsRegistry, l1: L1Controller, latency: int = 1):
+        super().__init__(engine, l1.name)
+        self.network = network
+        self.stats = stats
+        self.l1 = l1
+        self.latency = latency
+        l1.tu = self
+        network.register(self)
+
+    # -- outbound: device -> system ------------------------------------------
+    def from_device(self, msg: Message) -> None:
+        self.schedule(self.latency, lambda: self.network.send(msg),
+                      label="tu-out")
+
+    # -- inbound: system -> device ------------------------------------------
+    def receive(self, msg: Message) -> None:
+        self.schedule(self.latency, lambda: self._handle(msg),
+                      label="tu-in")
+
+    def _handle(self, msg: Message) -> None:
+        if msg.kind == MsgKind.NACK:
+            self._handle_nack(msg)
+            return
+        self.l1.receive(msg)
+
+    def _handle_nack(self, msg: Message) -> None:
+        raise SimulationError(f"{self.name}: unexpected Nack {msg}")
+
+
+class GPUCoherenceTU(TranslationUnit):
+    """TU for GPU coherence caches: ReqV retry via LLC-side atomic."""
+
+    PROTOCOL_FAMILY = "GPU"
+
+    def _handle_nack(self, msg: Message) -> None:
+        # Replace the failed ReqV with a ReqWT+data that performs an
+        # identity update at the LLC: it enforces a global order with
+        # racing ownership requests and returns the current value.
+        self.stats.incr("tu.escalations")
+        self.network.send(Message(
+            MsgKind.REQ_WT_DATA, msg.line, msg.mask, src=self.name,
+            dst=self.l1.home, req_id=msg.req_id))
+
+
+class DeNovoTU(TranslationUnit):
+    """TU for DeNovo caches: escalate a Nacked ReqV to ReqO+data."""
+
+    PROTOCOL_FAMILY = "DeNovo"
+
+    def _handle_nack(self, msg: Message) -> None:
+        self.stats.incr("tu.escalations")
+        self.network.send(Message(
+            MsgKind.REQ_O_DATA, msg.line, msg.mask, src=self.name,
+            dst=self.l1.home, req_id=msg.req_id))
+
+
+class MESITU(TranslationUnit):
+    """TU adapting word-granularity Spandex requests to a MESI cache."""
+
+    PROTOCOL_FAMILY = "MESI"
+
+    EXTERNAL_KINDS = (MsgKind.REQ_V, MsgKind.REQ_O, MsgKind.REQ_WT,
+                      MsgKind.REQ_O_DATA, MsgKind.REQ_S, MsgKind.RVK_O)
+
+    def __init__(self, engine: Engine, network: Network,
+                 stats: StatsRegistry, l1: MESIL1, latency: int = 1):
+        super().__init__(engine, network, stats, l1, latency)
+        #: line -> {word: value}: data retained for TU-issued partial
+        #: write-backs until the LLC acknowledges them
+        self._tu_wb: Dict[int, Dict[int, int]] = {}
+        self._own_req_lines: Dict[int, int] = {}   # req_id -> line
+
+    # -- inbound dispatch -----------------------------------------------------
+    def _handle(self, msg: Message) -> None:
+        if msg.kind == MsgKind.RSP_WB and msg.req_id in self._own_req_lines:
+            self._tu_wb_complete(msg)
+            return
+        if msg.kind == MsgKind.INV:
+            self.l1.receive(msg)          # native MESI capability
+            return
+        if msg.kind in self.EXTERNAL_KINDS:
+            self._handle_external(msg)
+            return
+        super()._handle(msg)
+
+    # -- external word-granularity requests (§III-D cases 1-3) ---------------
+    def _wb_covered_mask(self, line: int, mask: int) -> int:
+        """Words of ``mask`` whose data is retained by a pending
+        write-back (the L1's full-line WB or a TU partial WB)."""
+        if self.l1.probe_state(line) == "WB":
+            return mask
+        retained = self._tu_wb.get(line)
+        if not retained:
+            return 0
+        covered = 0
+        for index in iter_mask(mask):
+            if index in retained:
+                covered |= 1 << index
+        return covered
+
+    def _handle_external(self, msg: Message) -> None:
+        # Words covered by a pending write-back belong to an ownership
+        # epoch we already surrendered: answer from retained data first.
+        # (Deciding by the IM/IS transient instead would deadlock — the
+        # grant we'd wait for may be deferred at the home behind the
+        # very transaction that sent this request.)
+        covered = self._wb_covered_mask(msg.line, msg.mask)
+        if covered == msg.mask:
+            self._external_during_wb(msg)
+            return
+        if covered:
+            # mixed epochs in one forward: split; the requestor's
+            # reassembly accepts partial responses per word
+            wb_part = Message(msg.kind, msg.line, covered, src=msg.src,
+                              dst=msg.dst, req_id=msg.req_id,
+                              requestor=msg.requestor,
+                              data=dict(msg.data), atomic=msg.atomic,
+                              meta=dict(msg.meta))
+            self._external_during_wb(wb_part)
+            msg.mask &= ~covered
+        state = self.l1.probe_state(msg.line)
+        if state in ("IM", "IS"):
+            # IM: pending ownership upgrade.  IS: a ReqS whose grant may
+            # be exclusive (the home treated it as option 3 and already
+            # records us as owner) — same §III-C case 1 handling.
+            self._external_during_pending_o(msg)
+        elif state in ("M", "E"):
+            self._external_stable_o(msg)
+        elif msg.kind == MsgKind.REQ_V:
+            # stable state other than expected: Nack, requestor retries
+            self.stats.incr("tu.nacks_sent")
+            self.network.send(Message(
+                MsgKind.NACK, msg.line, msg.mask, src=self.name,
+                dst=msg.requestor or msg.src, req_id=msg.req_id))
+        else:
+            raise SimulationError(
+                f"{self.name}: external {msg.kind.value} in state {state}")
+
+    def _external_stable_o(self, msg: Message) -> None:
+        line, mask = msg.line, msg.mask
+        rest = FULL_LINE_MASK & ~mask
+        if msg.kind == MsgKind.REQ_V:
+            # ReqV needs no ordering or downgrade: serve a snapshot.
+            data = self.l1.probe_read(line)
+            self._respond(msg, MsgKind.RSP_V, mask, data)
+            return
+        if msg.kind in (MsgKind.REQ_O, MsgKind.REQ_WT):
+            data = self.l1.probe_downgrade(line, "I")
+            rsp = (MsgKind.RSP_O if msg.kind == MsgKind.REQ_O
+                   else MsgKind.RSP_WT)
+            self._respond(msg, rsp, mask, {})
+            self._tu_writeback(line, rest, data)
+        elif msg.kind == MsgKind.REQ_O_DATA:
+            data = self.l1.probe_downgrade(line, "I")
+            self._respond(msg, MsgKind.RSP_O_DATA, mask, data)
+            self._tu_writeback(line, rest, data)
+        elif msg.kind == MsgKind.RVK_O:
+            data = self.l1.probe_downgrade(line, "I")
+            self._to_home(msg, MsgKind.RSP_RVK_O, mask, data,
+                          req_id=msg.req_id)
+            self._tu_writeback(line, rest, data)
+        elif msg.kind == MsgKind.REQ_S:
+            # M -> S: data to the requestor and a write-back to the LLC
+            data = self.l1.probe_downgrade(line, "S")
+            self._respond(msg, MsgKind.RSP_S, mask, data)
+            self._to_home(msg, MsgKind.RSP_RVK_O, mask, data,
+                          req_id=msg.meta["txn_id"])
+            self._tu_writeback(line, rest, data)
+
+    def _external_during_pending_o(self, msg: Message) -> None:
+        """§III-D case 2: a pending ownership request for the line."""
+        if msg.kind in (MsgKind.REQ_O, MsgKind.REQ_WT):
+            # ownership-only: respond immediately; after the grant lands
+            # the line transitions to I and untouched words write back.
+            rsp = (MsgKind.RSP_O if msg.kind == MsgKind.REQ_O
+                   else MsgKind.RSP_WT)
+            self._respond(msg, rsp, msg.mask, {})
+            self.l1.probe_after_grant(
+                msg.line, lambda: self._late_downgrade(msg.line, msg.mask))
+            return
+        # data-needing requests are delayed until the grant completes
+        self.l1.probe_after_grant(
+            msg.line, lambda: self._handle_external(msg))
+
+    def _late_downgrade(self, line: int, answered_mask: int) -> None:
+        if self.l1.probe_state(line) not in ("M", "E"):
+            return    # an earlier queued action already downgraded it
+        data = self.l1.probe_downgrade(line, "I")
+        self._tu_writeback(line, FULL_LINE_MASK & ~answered_mask, data)
+
+    def _external_during_wb(self, msg: Message) -> None:
+        """§III-D case 3: the line has a write-back in flight; serve
+        from the retained copy, no further transitions."""
+        data = self.l1.probe_wb_data(msg.line)
+        if data is None:
+            data = dict(self._tu_wb.get(msg.line, {}))
+        kind_map = {
+            MsgKind.REQ_V: MsgKind.RSP_V,
+            MsgKind.REQ_O: MsgKind.RSP_O,
+            MsgKind.REQ_WT: MsgKind.RSP_WT,
+            MsgKind.REQ_O_DATA: MsgKind.RSP_O_DATA,
+            MsgKind.REQ_S: MsgKind.RSP_S,
+        }
+        if msg.kind == MsgKind.RVK_O:
+            self._to_home(msg, MsgKind.RSP_RVK_O, msg.mask, data,
+                          req_id=msg.req_id)
+            return
+        carry = msg.kind in (MsgKind.REQ_V, MsgKind.REQ_O_DATA,
+                             MsgKind.REQ_S)
+        self._respond(msg, kind_map[msg.kind], msg.mask,
+                      data if carry else {})
+        if msg.kind == MsgKind.REQ_S:
+            self._to_home(msg, MsgKind.RSP_RVK_O, msg.mask, data,
+                          req_id=msg.meta["txn_id"])
+
+    # -- TU-issued partial write-backs ----------------------------------------
+    def _tu_writeback(self, line: int, mask: int,
+                      data: Dict[int, int]) -> None:
+        if not mask:
+            return
+        values = {index: data[index] for index in iter_mask(mask)
+                  if index in data}
+        self._tu_wb.setdefault(line, {}).update(values)
+        msg = Message(MsgKind.REQ_WB, line, mask, src=self.name,
+                      dst=self.l1.home, data=values)
+        self._own_req_lines[msg.req_id] = line
+        self.stats.incr("tu.partial_writebacks")
+        self.network.send(msg)
+
+    def _tu_wb_complete(self, msg: Message) -> None:
+        line = self._own_req_lines.pop(msg.req_id)
+        retained = self._tu_wb.get(line)
+        if retained is not None:
+            still_out = any(other == line
+                            for other in self._own_req_lines.values())
+            if not still_out:
+                self._tu_wb.pop(line, None)
+
+    # -- response helpers -----------------------------------------------------
+    def _respond(self, msg: Message, kind: MsgKind, mask: int,
+                 data: Dict[int, int]) -> None:
+        payload = {index: data[index] for index in iter_mask(mask)
+                   if index in data}
+        self.network.send(Message(
+            kind, msg.line, mask, src=self.name,
+            dst=msg.requestor or msg.src, req_id=msg.req_id,
+            data=payload, meta=dict(msg.meta)))
+
+    def _to_home(self, msg: Message, kind: MsgKind, mask: int,
+                 data: Dict[int, int], req_id: int) -> None:
+        payload = {index: data[index] for index in iter_mask(mask)
+                   if index in data}
+        self.network.send(Message(
+            kind, msg.line, mask, src=self.name, dst=msg.src,
+            req_id=req_id, data=payload))
+
+
+def make_tu(engine: Engine, network: Network, stats: StatsRegistry,
+            l1: L1Controller, latency: int = 1) -> TranslationUnit:
+    """Build the TU matching the wrapped cache's protocol family."""
+    family = getattr(l1, "PROTOCOL_FAMILY", "GPU")
+    cls = {"GPU": GPUCoherenceTU, "DeNovo": DeNovoTU, "MESI": MESITU}[family]
+    return cls(engine, network, stats, l1, latency)

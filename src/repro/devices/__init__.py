@@ -1,0 +1,5 @@
+"""Device models: latency-sensitive CPU cores, throughput GPU CUs."""
+from .cpu import CPUCore
+from .gpu import GPUCU, Warp, coalesce
+
+__all__ = ["CPUCore", "GPUCU", "Warp", "coalesce"]

@@ -1,0 +1,8 @@
+"""Memory substrate: cache arrays, MSHRs, store buffers, DRAM."""
+from .cache import CacheArray, CacheLine
+from .dram import MainMemory
+from .mshr import MSHREntry, MSHRFile
+from .store_buffer import StoreBuffer, StoreBufferEntry
+
+__all__ = ["CacheArray", "CacheLine", "MainMemory", "MSHREntry", "MSHRFile",
+           "StoreBuffer", "StoreBufferEntry"]

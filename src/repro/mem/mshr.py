@@ -1,0 +1,74 @@
+"""Miss Status Holding Registers.
+
+An MSHR file bounds the number of outstanding misses per cache and
+coalesces same-line misses: secondary requests attach to the primary
+entry and are replayed when it completes.  The paper's configuration
+gives every L1 128 MSHRs (Table VI).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class MSHREntry(Generic[T]):
+    __slots__ = ("line", "primary", "secondaries", "meta")
+
+    def __init__(self, line: int, primary: T):
+        self.line = line
+        self.primary = primary
+        self.secondaries: List[T] = []
+        self.meta: Dict[str, object] = {}
+
+    def all_requests(self) -> List[T]:
+        return [self.primary] + self.secondaries
+
+
+class MSHRFile(Generic[T]):
+    """Fixed-capacity map of line address -> :class:`MSHREntry`."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: Dict[int, MSHREntry[T]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._entries
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line: int) -> Optional[MSHREntry[T]]:
+        return self._entries.get(line)
+
+    def allocate(self, line: int, primary: T) -> MSHREntry[T]:
+        if line in self._entries:
+            raise RuntimeError(f"MSHR already allocated for 0x{line:x}")
+        if self.full:
+            raise RuntimeError("MSHR file full; caller must stall")
+        entry = MSHREntry(line, primary)
+        self._entries[line] = entry
+        return entry
+
+    def attach(self, line: int, secondary: T) -> MSHREntry[T]:
+        entry = self._entries[line]
+        entry.secondaries.append(secondary)
+        return entry
+
+    def release(self, line: int) -> MSHREntry[T]:
+        entry = self._entries.pop(line, None)
+        if entry is None:
+            raise RuntimeError(f"releasing absent MSHR 0x{line:x}")
+        return entry
+
+    def drain(self, visit: Callable[[MSHREntry[T]], None]) -> None:
+        for entry in list(self._entries.values()):
+            visit(entry)
+
+    def lines(self) -> List[int]:
+        return list(self._entries)

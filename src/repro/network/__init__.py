@@ -1,0 +1,4 @@
+"""Interconnect model."""
+from .noc import LatencyModel, Network
+
+__all__ = ["LatencyModel", "Network"]

@@ -1,0 +1,109 @@
+"""Interconnect model.
+
+The paper's testbed uses Garnet; we substitute a link-level model that
+preserves what the evaluation measures: (a) per-hop latency — so
+hierarchical indirection costs an extra traversal per level, (b) finite
+link bandwidth — so throughput-bound workloads (e.g. PageRank) feel
+serialization, and (c) byte-accurate traffic accounting per message
+class — the Figures 2/3 stacks.
+
+Each ordered (src, dst) endpoint pair is a link with its own latency,
+bandwidth and FIFO ordering.  Point-to-point FIFO ordering is a
+correctness assumption of the protocol controllers.
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Callable, Dict, Optional, Protocol, Tuple
+
+from ..coherence.messages import Message
+from ..sim.engine import Engine, SimulationError
+from ..sim.stats import StatsRegistry
+
+
+class Endpoint(Protocol):
+    """Anything attachable to the network."""
+
+    name: str
+
+    def receive(self, msg: Message) -> None: ...
+
+
+class LatencyModel:
+    """Per-pair link latency with a default fallback.
+
+    The system builder derives pair latencies from the paper's Table VI
+    (e.g. a GPU-L1 -> LLC traversal is roughly the L2 hit latency minus
+    the L2 access itself).
+    """
+
+    def __init__(self, default: int = 12):
+        self.default = default
+        self._pairs: Dict[Tuple[str, str], int] = {}
+
+    def set_pair(self, src: str, dst: str, latency: int,
+                 symmetric: bool = True) -> None:
+        self._pairs[(src, dst)] = latency
+        if symmetric:
+            self._pairs[(dst, src)] = latency
+
+    def latency(self, src: str, dst: str) -> int:
+        return self._pairs.get((src, dst), self.default)
+
+
+class Network:
+    """Message transport with latency, bandwidth and traffic accounting."""
+
+    def __init__(self, engine: Engine, stats: StatsRegistry,
+                 latency_model: Optional[LatencyModel] = None,
+                 link_bytes_per_cycle: int = 32):
+        self.engine = engine
+        self.stats = stats
+        self.latency_model = latency_model or LatencyModel()
+        self.link_bytes_per_cycle = link_bytes_per_cycle
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._link_free: Dict[Tuple[str, str], int] = {}
+        self._last_delivery: Dict[Tuple[str, str], int] = {}
+        #: optional tap for tracing every message (tests, walkthroughs)
+        self.trace_hook: Optional[Callable[[Message, int], None]] = None
+
+    def register(self, endpoint: Endpoint) -> None:
+        if endpoint.name in self._endpoints:
+            raise SimulationError(f"duplicate endpoint {endpoint.name!r}")
+        self._endpoints[endpoint.name] = endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        return self._endpoints[name]
+
+    def has_endpoint(self, name: str) -> bool:
+        return name in self._endpoints
+
+    def send(self, msg: Message) -> None:
+        """Queue ``msg`` for delivery; accounts traffic immediately."""
+        if msg.dst not in self._endpoints:
+            raise SimulationError(f"unknown destination {msg.dst!r} for {msg}")
+        size = msg.size_bytes()
+        self.stats.incr("network.messages")
+        self.stats.incr("network.bytes", size)
+        self.stats.incr_group("traffic.bytes", msg.traffic_class, size)
+        self.stats.incr_group("traffic.messages", msg.traffic_class, 1)
+
+        now = self.engine.now
+        link = (msg.src, msg.dst)
+        serialization = max(1, ceil(size / self.link_bytes_per_cycle))
+        start = max(now, self._link_free.get(link, 0))
+        self._link_free[link] = start + serialization
+        delivery = start + serialization + self.latency_model.latency(
+            msg.src, msg.dst)
+        # Preserve point-to-point FIFO even if parameters ever vary.
+        delivery = max(delivery, self._last_delivery.get(link, 0))
+        self._last_delivery[link] = delivery
+        self.stats.incr("network.latency_cycles", delivery - now)
+
+        target = self._endpoints[msg.dst]
+        if self.trace_hook is not None:
+            self.trace_hook(msg, delivery)
+        self.engine.schedule_at(
+            delivery, lambda m=msg, t=target: t.receive(m),
+            label=f"net:{msg.kind.value}->{msg.dst}")

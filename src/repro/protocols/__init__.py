@@ -1,0 +1,11 @@
+"""Device-side coherence protocols and the hierarchical baseline."""
+from .base import Access, Inflight, L1Controller
+from .denovo import DeNovoL1, DnState
+from .gpu_coherence import GPUCoherenceL1, GpuState
+from .gpu_l2 import GPUL2
+from .mesi import MESIL1, MesiState
+from .mesi_llc import DirState, MESIDirectoryLLC
+
+__all__ = ["Access", "Inflight", "L1Controller", "DeNovoL1", "DnState",
+           "GPUCoherenceL1", "GpuState", "GPUL2", "MESIL1", "MesiState",
+           "DirState", "MESIDirectoryLLC"]

@@ -1,0 +1,258 @@
+"""Device-side L1 controller framework.
+
+Every L1 protocol (MESI, GPU coherence, DeNovo) subclasses
+:class:`L1Controller`.  Devices present :class:`Access` objects; the
+controller resolves hits locally and drives its protocol for misses.
+Synchronization is exposed as acquire / release fences implementing the
+DRF requirements of paper §III-E:
+
+* release: the store buffer drains and all outstanding write requests
+  (write-throughs or ownership acquisitions) complete first;
+* acquire: potentially-stale data is invalidated (a flash operation for
+  self-invalidating protocols, a no-op for MESI).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..coherence.addr import iter_mask
+from ..coherence.messages import AtomicOp, Message, MsgKind
+from ..mem.mshr import MSHRFile
+from ..mem.store_buffer import StoreBuffer
+from ..network.noc import Network
+from ..sim.engine import Component, Engine
+from ..sim.stats import StatsRegistry
+
+
+class Access:
+    """One memory operation presented by a device to its L1.
+
+    ``callback(values)`` fires at completion; for loads ``values`` maps
+    the requested word indices to data, for RMWs it maps the word to the
+    pre-update value, for stores it is empty.
+    """
+
+    __slots__ = ("kind", "line", "mask", "values", "atomic", "callback",
+                 "invalidate_first", "uid")
+    _uids = itertools.count()
+
+    def __init__(self, kind: str, line: int, mask: int,
+                 callback: Callable[[Dict[int, int]], None],
+                 values: Optional[Dict[int, int]] = None,
+                 atomic: Optional[AtomicOp] = None,
+                 invalidate_first: bool = False):
+        assert kind in ("load", "store", "rmw")
+        self.kind = kind
+        self.line = line
+        self.mask = mask
+        self.values = values or {}
+        self.atomic = atomic
+        self.callback = callback
+        self.invalidate_first = invalidate_first
+        self.uid = next(Access._uids)
+
+    def __repr__(self) -> str:
+        return (f"<Access {self.kind} line=0x{self.line:x} "
+                f"mask=0x{self.mask:04x}>")
+
+
+class Inflight:
+    """An outstanding L1 request awaiting (possibly partial) responses.
+
+    Spandex tracks ownership per word, so different words of one request
+    may be answered by different devices (paper §III-A): the home
+    responds for words it holds and previous owners respond directly for
+    words they owned.  ``remaining`` is the word mask still unanswered.
+    """
+
+    __slots__ = ("req_id", "line", "purpose", "remaining", "data",
+                 "granted_o", "no_cache", "accesses", "meta")
+
+    def __init__(self, req_id: int, line: int, purpose: str, remaining: int):
+        self.req_id = req_id
+        self.line = line
+        self.purpose = purpose           # load | store | rmw | wb
+        self.remaining = remaining
+        self.data: Dict[int, int] = {}   # words received (incl. extras)
+        self.granted_o = 0               # words granted in Owned state
+        self.no_cache = 0                # words served uncacheably
+        self.accesses: List[Access] = []
+        self.meta: Dict[str, object] = {}
+
+
+class L1Controller(Component):
+    """Common plumbing: MSHRs, store buffer, stats, downstream routing.
+
+    ``home`` is the network name this controller sends protocol requests
+    to (the Spandex TU in flat configurations, the GPU L2 or the MESI
+    directory in hierarchical ones).
+    """
+
+    #: protocol classification row for Table I reproduction
+    PROPERTIES: Dict[str, str] = {}
+
+    def __init__(self, engine: Engine, name: str, network: Network,
+                 stats: StatsRegistry, home: str,
+                 mshr_entries: int = 128, store_buffer_words: int = 128,
+                 hit_latency: int = 1, register_on_network: bool = True):
+        super().__init__(engine, name)
+        self.network = network
+        self.stats = stats
+        self.home = home
+        self.mshrs: MSHRFile = MSHRFile(mshr_entries)
+        self.store_buffer = StoreBuffer(store_buffer_words)
+        self.hit_latency = hit_latency
+        self._pending_writes = 0
+        self._release_waiters: List[Callable[[], None]] = []
+        self._inflight: Dict[int, Inflight] = {}
+        #: set when a translation unit wraps this controller (flat
+        #: Spandex configurations); the TU is then the network endpoint.
+        self.tu = None
+        if register_on_network:
+            network.register(self)
+
+    # -- device-facing API -------------------------------------------------
+    def try_access(self, access: Access) -> bool:
+        """Attempt to start ``access``.
+
+        Returns False when a structural hazard (full MSHRs / store
+        buffer, in-flight same-line store) forces the device to retry
+        next cycle.  On True the access will eventually call back.
+        """
+        raise NotImplementedError
+
+    def fence_acquire(self, callback: Callable[[], None],
+                      regions: Optional[List[Tuple[int, int]]] = None,
+                      scope: str = "device") -> None:
+        """Invalidate potentially-stale data, then call back.
+
+        ``regions`` restricts invalidation to the given (base, nbytes)
+        ranges (the DeNovo regions optimization); ``scope="cu"`` skips
+        invalidation entirely — synchronization between threads sharing
+        this cache needs none (scoped synchronization, paper §III-E).
+        """
+        if scope != "cu":
+            self.self_invalidate(regions)
+        self.schedule(1, callback, label="acquire")
+
+    def fence_release(self, callback: Callable[[], None],
+                      scope: str = "device") -> None:
+        """Call back once all prior writes are globally performed.
+
+        ``scope="cu"`` completes immediately: same-cache readers see
+        the write buffer through forwarding and the local data array.
+        """
+        if scope == "cu" or (self.store_buffer.empty
+                             and self._pending_writes == 0):
+            self.schedule(1, callback, label="release")
+            return
+        self._release_waiters.append(callback)
+        self._drain_store_buffer()
+
+    def self_invalidate(
+            self,
+            regions: Optional[List[Tuple[int, int]]] = None) -> None:
+        """Flash-invalidate stale-able data (protocol-specific);
+        ``regions`` limits the flash to the given byte ranges."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _region_filter(regions: Optional[List[Tuple[int, int]]]):
+        """Predicate: does a line fall inside any region?  None = all."""
+        if regions is None:
+            return lambda line: True
+
+        def inside(line: int) -> bool:
+            return any(base - 63 <= line < base + nbytes
+                       for base, nbytes in regions)
+        return inside
+
+    def outstanding(self) -> int:
+        return len(self.mshrs) + len(self.store_buffer)
+
+    # -- write completion bookkeeping ---------------------------------------
+    def _write_issued(self) -> None:
+        self._pending_writes += 1
+
+    def _write_completed(self) -> None:
+        self._pending_writes -= 1
+        assert self._pending_writes >= 0
+        self._check_release()
+
+    def _check_release(self) -> None:
+        if (self._release_waiters and self.store_buffer.empty
+                and self._pending_writes == 0):
+            waiters, self._release_waiters = self._release_waiters, []
+            for callback in waiters:
+                self.schedule(1, callback, label="release")
+
+    def _drain_store_buffer(self) -> None:
+        """Issue protocol requests for unissued store-buffer entries."""
+        raise NotImplementedError
+
+    # -- in-flight request reassembly -----------------------------------------
+    def _track(self, msg: Message, purpose: str,
+               remaining: Optional[int] = None) -> Inflight:
+        inflight = Inflight(
+            msg.req_id, msg.line, purpose,
+            remaining if remaining is not None else msg.mask)
+        self._inflight[msg.req_id] = inflight
+        return inflight
+
+    def _fold_response(self, msg: Message) -> bool:
+        """Fold a (partial) response into its in-flight record.
+
+        Returns True when the message matched an outstanding request;
+        calls ``_request_complete`` once every requested word arrived.
+        """
+        inflight = self._inflight.get(msg.req_id)
+        if inflight is None:
+            return False
+        inflight.data.update(msg.data)
+        served = msg.mask & inflight.remaining
+        if msg.kind in (MsgKind.RSP_O, MsgKind.RSP_O_DATA) or \
+                msg.meta.get("granted") == "O":
+            inflight.granted_o |= served
+        if msg.kind == MsgKind.RSP_WT_DATA:
+            # result of a TU escalation (Nacked ReqV replayed as an
+            # LLC-side atomic read): correct value, but not cacheable.
+            inflight.no_cache |= served
+        inflight.remaining &= ~msg.mask
+        if inflight.remaining == 0:
+            del self._inflight[msg.req_id]
+            self._request_complete(inflight)
+        return True
+
+    def _request_complete(self, inflight: Inflight) -> None:
+        raise NotImplementedError
+
+    # -- network plumbing ----------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        raise NotImplementedError
+
+    def send(self, msg: Message) -> None:
+        if self.tu is not None:
+            self.tu.from_device(msg)
+        else:
+            self.network.send(msg)
+
+    def request(self, kind: MsgKind, line: int, mask: int,
+                dst: Optional[str] = None, **kwargs) -> Message:
+        msg = Message(kind, line, mask, src=self.name,
+                      dst=dst or self.home, **kwargs)
+        self.send(msg)
+        return msg
+
+    # -- stats helpers --------------------------------------------------------
+    def count(self, what: str, amount: float = 1) -> None:
+        self.stats.incr(f"l1.{what}", amount)
+
+
+def merge_values(into: Dict[int, int], mask: int,
+                 values: Dict[int, int]) -> None:
+    """Copy masked ``values`` into ``into``."""
+    for index in iter_mask(mask):
+        if index in values:
+            into[index] = values[index]

@@ -1,0 +1,219 @@
+"""GPU coherence L1 (paper §II-B).
+
+Two stable states (Invalid, Valid), write-through stores at word
+granularity coalesced in the write buffer, line-granularity self-
+invalidated reads, and atomics performed at the backing cache via
+ReqWT+data.  The protocol never holds Owned or Shared state, so it
+receives no forwarded requests or probes — only responses.
+
+Synchronization: an acquire flash-invalidates every Valid line in one
+cycle; a release waits for the write buffer to drain.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..coherence.addr import FULL_LINE_MASK, iter_mask
+from ..coherence.messages import Message, MsgKind
+from ..mem.cache import CacheArray
+from ..sim.engine import SimulationError
+from .base import Access, Inflight, L1Controller
+
+
+class GpuState(enum.Enum):
+    I = "I"
+    V = "V"
+
+
+class GPUCoherenceL1(L1Controller):
+    """Write-through, self-invalidating GPU L1 cache."""
+
+    PROPERTIES = {
+        "stale_invalidation": "self-invalidation",
+        "write_propagation": "write-through",
+        "load_granularity": "line",
+        "store_granularity": "word",
+    }
+    PROTOCOL_FAMILY = "GPU"
+
+    def __init__(self, *args, size_bytes: int = 32 * 1024, assoc: int = 8,
+                 coalesce_delay: int = 8, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.array: CacheArray[GpuState] = CacheArray(
+            size_bytes, assoc, GpuState.I)
+        self.coalesce_delay = coalesce_delay
+        self._issue_scheduled = False
+
+    # ------------------------------------------------------------------
+    # device-facing API
+    # ------------------------------------------------------------------
+    def try_access(self, access: Access) -> bool:
+        if access.kind == "load":
+            return self._do_load(access)
+        if access.kind == "store":
+            return self._do_store(access)
+        return self._do_rmw(access)
+
+    def _do_load(self, access: Access) -> bool:
+        if access.invalidate_first:
+            resident = self.array.lookup(access.line, touch=False)
+            if resident is not None and not resident.pinned:
+                self.array.evict(access.line)
+        forwarded = self.store_buffer.forward(access.line, access.mask)
+        if forwarded is not None:
+            self.count("hits")
+            self.schedule(self.hit_latency,
+                          lambda: access.callback(forwarded), "sb-fwd")
+            return True
+        line_obj = self.array.lookup(access.line)
+        if line_obj is not None and line_obj.state == GpuState.V:
+            self.count("hits")
+            values = line_obj.read_data(access.mask)
+            # overlay younger buffered stores (same-thread ordering)
+            partial = self.store_buffer.entry(access.line)
+            if partial is not None:
+                for index in iter_mask(access.mask & partial.mask):
+                    values[index] = partial.values[index]
+            self.schedule(self.hit_latency,
+                          lambda: access.callback(values), "load-hit")
+            return True
+        # miss: line-granularity ReqV, coalesced through the MSHR
+        if access.line in self.mshrs:
+            self.mshrs.attach(access.line, access)
+            return True
+        if self.mshrs.full:
+            self.count("mshr_stalls")
+            return False
+        self.count("load_misses")
+        entry = self.mshrs.allocate(access.line, access)
+        msg = self.request(MsgKind.REQ_V, access.line, FULL_LINE_MASK,
+                           is_line_granularity=True)
+        inflight = self._track(msg, "load")
+        entry.meta["req_id"] = msg.req_id
+        return True
+
+    def _do_store(self, access: Access) -> bool:
+        entry = self.store_buffer.entry(access.line)
+        if entry is not None and entry.issued:
+            self.count("sb_conflict_stalls")
+            return False
+        if not self.store_buffer.can_accept(access.mask, access.line):
+            self.count("sb_full_stalls")
+            return False
+        self.store_buffer.push(access.line, access.mask, access.values)
+        # keep a Valid local copy coherent with our own writes
+        line_obj = self.array.lookup(access.line)
+        if line_obj is not None and line_obj.state == GpuState.V:
+            line_obj.write_data(access.mask, access.values)
+        self._schedule_issue()
+        self.schedule(self.hit_latency, lambda: access.callback({}),
+                      "store-accept")
+        return True
+
+    def _do_rmw(self, access: Access) -> bool:
+        # All atomics are performed at the backing cache (LLC / GPU L2).
+        if self.mshrs.full:
+            self.count("mshr_stalls")
+            return False
+        self.count("atomics")
+        msg = self.request(MsgKind.REQ_WT_DATA, access.line, access.mask,
+                           atomic=access.atomic, data=dict(access.values))
+        inflight = self._track(msg, "rmw")
+        inflight.accesses.append(access)
+        self._write_issued()
+        return True
+
+    def self_invalidate(self, regions=None) -> None:
+        """Flash-invalidate Valid lines (single-cycle operation);
+        ``regions`` restricts the flash to the given byte ranges."""
+        self.count("flash_invalidations")
+        inside = self._region_filter(regions)
+        for line_obj in list(self.array.lines()):
+            if not line_obj.pinned and inside(line_obj.line):
+                self.array.evict(line_obj.line)
+
+    # ------------------------------------------------------------------
+    # write buffer draining
+    # ------------------------------------------------------------------
+    def _schedule_issue(self) -> None:
+        if self._issue_scheduled:
+            return
+        self._issue_scheduled = True
+        self.schedule(self.coalesce_delay, self._issue_writes, "wt-issue")
+
+    def _issue_writes(self) -> None:
+        self._issue_scheduled = False
+        entry = self.store_buffer.next_unissued()
+        while entry is not None:
+            self.store_buffer.mark_issued(entry.line)
+            msg = self.request(MsgKind.REQ_WT, entry.line, entry.mask,
+                               data=dict(entry.values))
+            inflight = self._track(msg, "store")
+            inflight.meta["sb_line"] = entry.line
+            self._write_issued()
+            entry = self.store_buffer.next_unissued()
+
+    def _drain_store_buffer(self) -> None:
+        if self._issue_scheduled:
+            return
+        self._issue_writes()
+
+    # ------------------------------------------------------------------
+    # responses
+    # ------------------------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        if msg.kind == MsgKind.INV:
+            # Possible after a raced eviction at the home; no S state,
+            # so just acknowledge (paper §III-C case 3).
+            self.send(Message(MsgKind.ACK, msg.line, msg.mask,
+                              src=self.name, dst=msg.src,
+                              req_id=msg.req_id))
+            return
+        if not self._fold_response(msg):
+            raise SimulationError(f"{self.name}: unexpected {msg}")
+
+    def _request_complete(self, inflight: Inflight) -> None:
+        if inflight.purpose == "load":
+            self._finish_load(inflight)
+        elif inflight.purpose == "store":
+            line = inflight.meta["sb_line"]
+            self.store_buffer.complete(line)
+            self._write_completed()
+        elif inflight.purpose == "rmw":
+            # response data is potentially stale: downgrade local copy
+            resident = self.array.lookup(inflight.line, touch=False)
+            if resident is not None and not resident.pinned:
+                self.array.evict(inflight.line)
+            for access in inflight.accesses:
+                values = {index: inflight.data[index]
+                          for index in iter_mask(access.mask)}
+                access.callback(values)
+            self._write_completed()
+
+    def _finish_load(self, inflight: Inflight) -> None:
+        entry = self.mshrs.release(inflight.line)
+        cacheable = not inflight.no_cache
+        if cacheable:
+            line_obj = self.array.lookup(inflight.line)
+            if line_obj is None:
+                victim = self.array.victim_for(inflight.line)
+                if victim is not None:
+                    self.array.evict(victim.line)  # clean: write-through
+                line_obj = self.array.install(inflight.line)
+            line_obj.state = GpuState.V
+            for index, value in inflight.data.items():
+                line_obj.data[index] = value
+            # our own buffered stores are younger than the fill
+            partial = self.store_buffer.entry(inflight.line)
+            if partial is not None:
+                line_obj.write_data(partial.mask, partial.values)
+        for access in entry.all_requests():
+            values = {}
+            partial = self.store_buffer.entry(inflight.line)
+            for index in iter_mask(access.mask):
+                if partial is not None and (partial.mask >> index) & 1:
+                    values[index] = partial.values[index]
+                else:
+                    values[index] = inflight.data.get(index, 0)
+            access.callback(values)

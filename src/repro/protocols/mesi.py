@@ -1,0 +1,418 @@
+"""MESI L1 (paper §II-A).
+
+Line-granularity writer-invalidated protocol: loads request Shared
+state, stores and RMWs are read-for-ownership (the full line is fetched
+with Modified permission), evictions of owned lines write back the full
+line.  Acquire fences are no-ops — invalidation is the writer's job.
+
+The cache speaks one of two dialects:
+
+* ``mesi`` — classic GetS / GetM / PutM with the directory LLC of the
+  hierarchical baseline, including FwdGetS / FwdGetM / Inv probes;
+* ``spandex`` — Table II translation: loads issue line ReqS, stores and
+  RMWs issue line ReqO+data, owned replacements issue line ReqWB.  In
+  this dialect external word-granularity Spandex requests are handled
+  by the per-device translation unit (§III-D), which drives this cache
+  through the ``probe_*`` API at the bottom of the class.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional
+
+from ..coherence.addr import FULL_LINE_MASK, iter_mask
+from ..coherence.messages import Message, MsgKind
+from ..mem.cache import CacheArray, CacheLine
+from ..sim.engine import SimulationError
+from .base import Access, Inflight, L1Controller
+
+
+class MesiState(enum.Enum):
+    I = "I"
+    S = "S"
+    E = "E"
+    M = "M"
+
+
+class MESIL1(L1Controller):
+    """Writer-invalidated, ownership-based, line-granularity L1."""
+
+    PROPERTIES = {
+        "stale_invalidation": "writer-invalidation",
+        "write_propagation": "ownership",
+        "load_granularity": "line",
+        "store_granularity": "line",
+    }
+    PROTOCOL_FAMILY = "MESI"
+
+    def __init__(self, *args, size_bytes: int = 32 * 1024, assoc: int = 8,
+                 dialect: str = "spandex", coalesce_delay: int = 4,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        if dialect not in ("spandex", "mesi"):
+            raise ValueError(f"bad dialect {dialect!r}")
+        self.dialect = dialect
+        self.array: CacheArray[MesiState] = CacheArray(
+            size_bytes, assoc, MesiState.I)
+        self.coalesce_delay = coalesce_delay
+        self._issue_scheduled = False
+        self._pending_wb: Dict[int, Dict[int, int]] = {}
+        self._post_grant: Dict[int, List[Callable[[], None]]] = {}
+
+    # ------------------------------------------------------------------
+    # device-facing API
+    # ------------------------------------------------------------------
+    def try_access(self, access: Access) -> bool:
+        if access.kind == "load":
+            return self._do_load(access)
+        if access.kind == "store":
+            return self._do_store(access)
+        return self._do_rmw(access)
+
+    def _state(self, line: int) -> MesiState:
+        line_obj = self.array.lookup(line, touch=False)
+        return MesiState.I if line_obj is None else line_obj.state
+
+    def _do_load(self, access: Access) -> bool:
+        forwarded = self.store_buffer.forward(access.line, access.mask)
+        if forwarded is not None:
+            self.count("hits")
+            self.schedule(self.hit_latency,
+                          lambda: access.callback(forwarded), "sb-fwd")
+            return True
+        line_obj = self.array.lookup(access.line)
+        if line_obj is not None and line_obj.state != MesiState.I:
+            self.count("hits")
+            values = line_obj.read_data(access.mask)
+            self.schedule(self.hit_latency,
+                          lambda: access.callback(values), "load-hit")
+            return True
+        mshr_entry = self.mshrs.lookup(access.line)
+        if mshr_entry is not None:
+            if mshr_entry.meta["type"] == "IS":
+                self.mshrs.attach(access.line, access)
+                return True
+            # an ownership miss is pending: the grant serves loads too
+            self.mshrs.attach(access.line, access)
+            return True
+        if self.mshrs.full or self.store_buffer.has_line(access.line):
+            self.count("mshr_stalls")
+            return False
+        self.count("load_misses")
+        entry = self.mshrs.allocate(access.line, access)
+        entry.meta["type"] = "IS"
+        kind = MsgKind.REQ_S if self.dialect == "spandex" else MsgKind.GET_S
+        msg = self.request(kind, access.line, FULL_LINE_MASK,
+                           is_line_granularity=True)
+        self._track(msg, "load")
+        return True
+
+    def _do_store(self, access: Access) -> bool:
+        line_obj = self.array.lookup(access.line)
+        if line_obj is not None and line_obj.state in (MesiState.M,
+                                                       MesiState.E):
+            self.count("hits")
+            line_obj.state = MesiState.M
+            line_obj.write_data(access.mask, access.values)
+            self.schedule(self.hit_latency,
+                          lambda: access.callback({}), "store-hit")
+            return True
+        sb_entry = self.store_buffer.entry(access.line)
+        if sb_entry is not None and sb_entry.issued:
+            self.count("sb_conflict_stalls")
+            return False
+        if not self.store_buffer.can_accept(access.mask, access.line):
+            self.count("sb_full_stalls")
+            return False
+        self.store_buffer.push(access.line, access.mask, access.values)
+        self._schedule_issue()
+        self.schedule(self.hit_latency, lambda: access.callback({}),
+                      "store-accept")
+        return True
+
+    def _do_rmw(self, access: Access) -> bool:
+        line_obj = self.array.lookup(access.line)
+        index = next(iter_mask(access.mask))
+        if line_obj is not None and line_obj.state in (MesiState.M,
+                                                       MesiState.E):
+            self.count("atomic_hits")
+            line_obj.state = MesiState.M
+            old = line_obj.data[index]
+            line_obj.data[index] = access.atomic.apply(old)
+            self.schedule(self.hit_latency,
+                          lambda: access.callback({index: old}), "rmw-hit")
+            return True
+        if (self.mshrs.full or access.line in self.mshrs
+                or self.store_buffer.has_line(access.line)):
+            self.count("mshr_stalls")
+            return False
+        self.count("atomics")
+        entry = self.mshrs.allocate(access.line, access)
+        entry.meta["type"] = "IM"
+        msg = self._send_ownership_request(access.line)
+        self._track(msg, "rmw")
+        self._write_issued()
+        return True
+
+    def _send_ownership_request(self, line: int) -> Message:
+        kind = (MsgKind.REQ_O_DATA if self.dialect == "spandex"
+                else MsgKind.GET_M)
+        return self.request(kind, line, FULL_LINE_MASK,
+                            is_line_granularity=True)
+
+    def self_invalidate(self, regions=None) -> None:
+        """MESI relies on writer-initiated invalidation: no-op."""
+
+    # ------------------------------------------------------------------
+    # store buffer: read-for-ownership path
+    # ------------------------------------------------------------------
+    def _schedule_issue(self) -> None:
+        if self._issue_scheduled:
+            return
+        self._issue_scheduled = True
+        self.schedule(self.coalesce_delay, self._issue_writes, "rfo-issue")
+
+    def _issue_writes(self) -> None:
+        self._issue_scheduled = False
+        entry = self.store_buffer.next_unissued()
+        while entry is not None:
+            line_obj = self.array.lookup(entry.line)
+            if line_obj is not None and line_obj.state in (MesiState.M,
+                                                           MesiState.E):
+                # the line arrived meanwhile (e.g. via an earlier miss)
+                line_obj.state = MesiState.M
+                line_obj.write_data(entry.mask, entry.values)
+                self.store_buffer.mark_issued(entry.line)
+                self.store_buffer.complete(entry.line)
+                self._check_release()
+                entry = self.store_buffer.next_unissued()
+                continue
+            if entry.line in self.mshrs:
+                # wait for the in-flight miss to settle, then retry
+                break
+            if self.mshrs.full:
+                break
+            self.store_buffer.mark_issued(entry.line)
+            mshr_entry = self.mshrs.allocate(entry.line, None)
+            mshr_entry.meta["type"] = "IM"
+            msg = self._send_ownership_request(entry.line)
+            inflight = self._track(msg, "store")
+            inflight.meta["sb_line"] = entry.line
+            self._write_issued()
+            entry = self.store_buffer.next_unissued()
+
+    def _drain_store_buffer(self) -> None:
+        if not self._issue_scheduled:
+            self._issue_writes()
+
+    # ------------------------------------------------------------------
+    # replacement
+    # ------------------------------------------------------------------
+    def _resident(self, line: int) -> CacheLine:
+        line_obj = self.array.lookup(line)
+        if line_obj is not None:
+            return line_obj
+        victim = self.array.victim_for(line)
+        if victim is not None:
+            self._evict(victim)
+        return self.array.install(line)
+
+    def _evict(self, victim: CacheLine) -> None:
+        if victim.state in (MesiState.M, MesiState.E):
+            # Write back the full line (line-granularity ownership).  E
+            # lines also write back: the home tracks us as owner.
+            self.count("owned_evictions")
+            values = victim.read_data(FULL_LINE_MASK)
+            self._pending_wb[victim.line] = dict(values)
+            kind = (MsgKind.REQ_WB if self.dialect == "spandex"
+                    else MsgKind.PUT_M)
+            msg = self.request(kind, victim.line, FULL_LINE_MASK,
+                               data=values, is_line_granularity=True)
+            inflight = self._track(msg, "wb")
+            inflight.meta["wb_line"] = victim.line
+            self._write_issued()
+        self.array.evict(victim.line)
+
+    # ------------------------------------------------------------------
+    # responses
+    # ------------------------------------------------------------------
+    def receive(self, msg: Message) -> None:
+        if msg.kind in (MsgKind.DATA_S, MsgKind.DATA_E, MsgKind.DATA_M,
+                        MsgKind.WB_ACK):
+            self._mesi_data(msg)
+            return
+        if self._fold_response(msg):
+            return
+        handler = {
+            MsgKind.FWD_GET_S: self._ext_fwd_gets,
+            MsgKind.FWD_GET_M: self._ext_fwd_getm,
+            MsgKind.MESI_INV: self._ext_inv,
+            MsgKind.INV: self._ext_inv,
+        }.get(msg.kind)
+        if handler is None:
+            raise SimulationError(f"{self.name}: unexpected {msg}")
+        handler(msg)
+
+    def _mesi_data(self, msg: Message) -> None:
+        """Map classic-MESI response kinds onto the fold machinery."""
+        inflight = self._inflight.get(msg.req_id)
+        if inflight is None:
+            raise SimulationError(f"{self.name}: orphan {msg}")
+        if msg.kind in (MsgKind.DATA_E, MsgKind.DATA_M):
+            inflight.granted_o |= msg.mask
+        self._fold_response(msg)
+
+    def _request_complete(self, inflight: Inflight) -> None:
+        if inflight.purpose == "wb":
+            self._pending_wb.pop(inflight.meta["wb_line"], None)
+            self._write_completed()
+            if not self._issue_scheduled:
+                self._issue_writes()
+            return
+        self._finish_miss(inflight)
+
+    def _finish_miss(self, inflight: Inflight) -> None:
+        line = inflight.line
+        entry = self.mshrs.release(line)
+        line_obj = self._resident(line)
+        exclusive = inflight.granted_o == FULL_LINE_MASK
+        for index, value in inflight.data.items():
+            line_obj.data[index] = value
+        if inflight.purpose == "load" and not exclusive:
+            line_obj.state = MesiState.S
+        elif inflight.purpose == "load":
+            line_obj.state = MesiState.E
+        else:
+            line_obj.state = MesiState.M
+        if inflight.purpose == "store":
+            sb_entry = self.store_buffer.complete(inflight.meta["sb_line"])
+            line_obj.write_data(sb_entry.mask, sb_entry.values)
+            self._write_completed()
+        for access in entry.all_requests():
+            if access is None:
+                continue
+            self._complete_access(line_obj, access)
+        if inflight.purpose == "rmw":
+            self._write_completed()
+        self._run_post_grant(line)
+        if not self._issue_scheduled:
+            self._issue_writes()
+
+    def _complete_access(self, line_obj: CacheLine, access: Access) -> None:
+        if access.kind == "load":
+            access.callback(line_obj.read_data(access.mask))
+        elif access.kind == "store":
+            line_obj.state = MesiState.M
+            line_obj.write_data(access.mask, access.values)
+            access.callback({})
+        else:  # rmw
+            line_obj.state = MesiState.M
+            index = next(iter_mask(access.mask))
+            old = line_obj.data[index]
+            line_obj.data[index] = access.atomic.apply(old)
+            access.callback({index: old})
+
+    def _run_post_grant(self, line: int) -> None:
+        queue = self._post_grant.pop(line, None)
+        if not queue:
+            return
+        for fn in queue:
+            fn()
+
+    # ------------------------------------------------------------------
+    # classic-MESI external requests (hierarchical configurations)
+    # ------------------------------------------------------------------
+    def _ext_fwd_gets(self, msg: Message) -> None:
+        state = self.probe_state(msg.line)
+        if state in ("M", "E"):
+            line_obj = self.array.lookup(msg.line, touch=False)
+            line_obj.state = MesiState.S
+            data = line_obj.read_data(FULL_LINE_MASK)
+        elif state == "WB":
+            data = dict(self._pending_wb[msg.line])
+        else:
+            raise SimulationError(f"{self.name}: FwdGetS in {state}")
+        self.send(Message(MsgKind.DATA_S, msg.line, FULL_LINE_MASK,
+                          src=self.name, dst=msg.requestor,
+                          req_id=msg.req_id, data=data,
+                          is_line_granularity=True))
+        self.send(Message(MsgKind.DATA_S, msg.line, FULL_LINE_MASK,
+                          src=self.name, dst=msg.src,
+                          req_id=msg.meta["txn_id"], data=data,
+                          is_line_granularity=True,
+                          meta={"to_dir": True}))
+
+    def _ext_fwd_getm(self, msg: Message) -> None:
+        state = self.probe_state(msg.line)
+        if state in ("M", "E"):
+            line_obj = self.array.lookup(msg.line, touch=False)
+            data = line_obj.read_data(FULL_LINE_MASK)
+            self.array.evict(msg.line)
+        elif state == "WB":
+            data = dict(self._pending_wb[msg.line])
+        else:
+            raise SimulationError(f"{self.name}: FwdGetM in {state}")
+        self.send(Message(MsgKind.DATA_M, msg.line, FULL_LINE_MASK,
+                          src=self.name, dst=msg.requestor,
+                          req_id=msg.req_id, data=data,
+                          is_line_granularity=True))
+        self.send(Message(MsgKind.MESI_INV_ACK, msg.line, FULL_LINE_MASK,
+                          src=self.name, dst=msg.src,
+                          req_id=msg.meta["txn_id"]))
+
+    def _ext_inv(self, msg: Message) -> None:
+        line_obj = self.array.lookup(msg.line, touch=False)
+        if line_obj is not None and line_obj.state == MesiState.S:
+            self.array.evict(msg.line)
+        ack_kind = (MsgKind.MESI_INV_ACK if msg.kind == MsgKind.MESI_INV
+                    else MsgKind.ACK)
+        self.send(Message(ack_kind, msg.line, msg.mask, src=self.name,
+                          dst=msg.src, req_id=msg.req_id))
+
+    # ------------------------------------------------------------------
+    # probe API used by the MESI translation unit (§III-D)
+    # ------------------------------------------------------------------
+    def probe_state(self, line: int) -> str:
+        """Line state, including transients: I S E M IS IM WB."""
+        if line in self._pending_wb:
+            return "WB"
+        entry = self.mshrs.lookup(line)
+        if entry is not None:
+            return str(entry.meta.get("type", "IS"))
+        return self._state(line).value
+
+    def probe_read(self, line: int) -> Dict[int, int]:
+        """Up-to-date line data (resident copy or retained WB data)."""
+        line_obj = self.array.lookup(line, touch=False)
+        if line_obj is not None and line_obj.state != MesiState.I:
+            return line_obj.read_data(FULL_LINE_MASK)
+        wb = self._pending_wb.get(line)
+        if wb is not None:
+            return dict(wb)
+        raise SimulationError(f"{self.name}: probe_read of 0x{line:x}")
+
+    def probe_downgrade(self, line: int, to: str) -> Dict[int, int]:
+        """Force M/E -> S or I; returns the line data."""
+        line_obj = self.array.lookup(line, touch=False)
+        if line_obj is None or line_obj.state == MesiState.I:
+            wb = self._pending_wb.get(line)
+            if wb is not None:
+                return dict(wb)
+            raise SimulationError(
+                f"{self.name}: downgrade of absent 0x{line:x}")
+        data = line_obj.read_data(FULL_LINE_MASK)
+        if to == "S":
+            line_obj.state = MesiState.S
+        else:
+            self.array.evict(line)
+        return data
+
+    def probe_after_grant(self, line: int, fn: Callable[[], None]) -> None:
+        """Run ``fn`` once the pending ownership grant for ``line`` has
+        landed and its accesses have completed (§III-D case 2)."""
+        self._post_grant.setdefault(line, []).append(fn)
+
+    def probe_wb_data(self, line: int) -> Optional[Dict[int, int]]:
+        wb = self._pending_wb.get(line)
+        return dict(wb) if wb is not None else None

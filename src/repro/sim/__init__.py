@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel and statistics."""
+from .engine import Component, Engine, Event, SimulationError
+from .stats import LatencySampler, StatsRegistry
+
+__all__ = ["Component", "Engine", "Event", "SimulationError",
+           "LatencySampler", "StatsRegistry"]

@@ -1,0 +1,154 @@
+"""Discrete-event simulation kernel.
+
+The whole system runs on a single :class:`Engine`: components schedule
+callbacks at integer cycle timestamps, and the engine executes them in
+(time, insertion-order) order so runs are fully deterministic.
+
+The engine is intentionally minimal — a binary heap of events plus a
+monotonically increasing sequence number for tie-breaking.  Components
+never see the heap; they interact through :meth:`Engine.schedule` and
+:meth:`Engine.run`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events support cancellation: a cancelled event stays in the heap but
+    is skipped when popped.  This keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None],
+                 label: str = ""):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark this event so the engine skips it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq} {self.label}{state}>"
+
+
+class Engine:
+    """Deterministic discrete-event scheduler with integer cycle time."""
+
+    def __init__(self):
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._now = 0
+        self._events_executed = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_executed
+
+    def schedule(self, delay: int, callback: Callable[[], None],
+                 label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now.
+
+        Returns the :class:`Event`, which the caller may cancel.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {label!r}")
+        event = Event(self._now + delay, self._seq, callback, label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: int, callback: Callable[[], None],
+                    label: str = "") -> Event:
+        """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
+        return self.schedule(time - self._now, callback, label)
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains.
+
+        ``until`` bounds simulated time; ``max_events`` bounds executed
+        events (a watchdog against protocol livelock).  Returns the
+        simulation time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("Engine.run is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    # Put it back: the caller may resume later.
+                    heapq.heappush(self._heap, event)
+                    self._now = until
+                    break
+                self._now = event.time
+                event.callback()
+                self._events_executed += 1
+                if max_events is not None and self._events_executed >= max_events:
+                    raise SimulationError(
+                        f"event budget exhausted ({max_events}); "
+                        "possible protocol livelock")
+        finally:
+            self._running = False
+        return self._now
+
+    def drain_check(self) -> None:
+        """Raise if live events remain (used by tests for quiescence)."""
+        live = self.pending()
+        if live:
+            raise SimulationError(f"{live} events still pending")
+
+
+class Component:
+    """Base class for anything that lives on the engine.
+
+    Subclasses get a ``name`` for diagnostics and a convenience
+    ``schedule`` that tags events with the component name.
+    """
+
+    def __init__(self, engine: Engine, name: str):
+        self.engine = engine
+        self.name = name
+
+    @property
+    def now(self) -> int:
+        return self.engine.now
+
+    def schedule(self, delay: int, callback: Callable[[], None],
+                 label: str = "") -> Event:
+        return self.engine.schedule(
+            delay, callback, label=f"{self.name}:{label}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

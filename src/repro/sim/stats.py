@@ -1,0 +1,111 @@
+"""Statistics collection.
+
+A :class:`StatsRegistry` aggregates named counters and grouped counters
+(e.g. network bytes broken down by message class, as in the paper's
+Figures 2 and 3 traffic stacks).  Components hold references to the same
+registry, so a system-wide report is a single object.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping, Tuple
+
+
+class StatsRegistry:
+    """Flat counters plus two-level grouped counters."""
+
+    def __init__(self):
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._groups: Dict[str, Dict[str, float]] = defaultdict(
+            lambda: defaultdict(float))
+
+    # -- flat counters ---------------------------------------------------
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self._counters[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        self._counters[name] = value
+
+    def get(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def counters(self) -> Mapping[str, float]:
+        return dict(self._counters)
+
+    # -- grouped counters ------------------------------------------------
+    def incr_group(self, group: str, key: str, amount: float = 1.0) -> None:
+        self._groups[group][key] += amount
+
+    def group(self, group: str) -> Dict[str, float]:
+        return dict(self._groups.get(group, {}))
+
+    def group_total(self, group: str) -> float:
+        return sum(self._groups.get(group, {}).values())
+
+    def groups(self) -> Iterable[str]:
+        return list(self._groups)
+
+    # -- reporting -------------------------------------------------------
+    def merge(self, other: "StatsRegistry") -> None:
+        """Fold another registry's counts into this one."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        for group, keys in other._groups.items():
+            for key, value in keys.items():
+                self._groups[group][key] += value
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict copy suitable for JSON or diffing."""
+        return {
+            "counters": dict(self._counters),
+            "groups": {g: dict(k) for g, k in self._groups.items()},
+        }
+
+    def format_table(self, title: str = "stats") -> str:
+        """Human-readable dump, sorted for stable output."""
+        lines = [f"== {title} =="]
+        for name in sorted(self._counters):
+            lines.append(f"  {name:<48} {self._counters[name]:>14,.0f}")
+        for group in sorted(self._groups):
+            lines.append(f"  [{group}]")
+            keys = self._groups[group]
+            for key in sorted(keys):
+                lines.append(f"    {key:<46} {keys[key]:>14,.0f}")
+        return "\n".join(lines)
+
+
+class LatencySampler:
+    """Streaming latency statistics (count/sum/min/max) per label."""
+
+    def __init__(self):
+        self._data: Dict[str, Tuple[int, float, float, float]] = {}
+
+    def sample(self, label: str, value: float) -> None:
+        if label in self._data:
+            count, total, lo, hi = self._data[label]
+            self._data[label] = (
+                count + 1, total + value, min(lo, value), max(hi, value))
+        else:
+            self._data[label] = (1, value, value, value)
+
+    def mean(self, label: str) -> float:
+        entry = self._data.get(label)
+        if not entry or entry[0] == 0:
+            return 0.0
+        return entry[1] / entry[0]
+
+    def count(self, label: str) -> int:
+        entry = self._data.get(label)
+        return entry[0] if entry else 0
+
+    def minimum(self, label: str) -> float:
+        entry = self._data.get(label)
+        return entry[2] if entry else 0.0
+
+    def maximum(self, label: str) -> float:
+        entry = self._data.get(label)
+        return entry[3] if entry else 0.0
+
+    def labels(self) -> Iterable[str]:
+        return list(self._data)

@@ -1,0 +1,8 @@
+"""System configurations (Tables V/VI) and the machine builder."""
+from .builder import RunResult, System, build_system
+from .config import (CONFIG_ORDER, CONFIGS, HIERARCHICAL_CONFIGS,
+                     SPANDEX_CONFIGS, SystemConfig, scaled_config)
+
+__all__ = ["RunResult", "System", "build_system", "CONFIG_ORDER",
+           "CONFIGS", "HIERARCHICAL_CONFIGS", "SPANDEX_CONFIGS",
+           "SystemConfig", "scaled_config"]

@@ -1,0 +1,259 @@
+"""System builder: wires a full simulated machine from a SystemConfig.
+
+Spandex configurations::
+
+    CPU cores --- MESI/DeNovo L1 --- TU ---+
+                                           +--- network --- Spandex LLC --- DRAM
+    GPU CUs  --- GPU-coh/DeNovo L1 - TU ---+
+
+Hierarchical configurations::
+
+    CPU cores --- MESI L1 ------------------+
+                                            +--- network --- MESI dir L3 --- DRAM
+    GPU CUs --- GPU-coh/DeNovo L1 - GPU L2 -+
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.llc import SpandexLLC
+from ..core.tu import make_tu
+from ..devices.cpu import CPUCore
+from ..devices.gpu import GPUCU
+from ..mem.dram import MainMemory
+from ..network.noc import LatencyModel, Network
+from ..protocols.denovo import DeNovoL1
+from ..protocols.gpu_coherence import GPUCoherenceL1
+from ..protocols.gpu_l2 import GPUL2
+from ..protocols.mesi import MESIL1
+from ..protocols.mesi_llc import MESIDirectoryLLC
+from ..sim.engine import Engine
+from ..sim.stats import StatsRegistry
+from .config import SystemConfig
+
+
+class System:
+    """A fully wired machine ready to execute a workload."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.engine = Engine()
+        self.stats = StatsRegistry()
+        self.latency_model = LatencyModel(default=config.net_default)
+        self.network = Network(self.engine, self.stats, self.latency_model,
+                               config.link_bytes_per_cycle)
+        self.dram = MainMemory(self.engine, self.stats,
+                               latency=config.dram_latency,
+                               banks=config.llc_banks)
+        self.cpus: List[CPUCore] = []
+        self.gpus: List[GPUCU] = []
+        self.cpu_l1s: List = []
+        self.gpu_l1s: List = []
+        self.llc = None           # SpandexLLC or MESIDirectoryLLC
+        self.gpu_l2: Optional[GPUL2] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        config = self.config
+        if config.hierarchical:
+            self._build_hierarchical()
+        else:
+            self._build_spandex()
+
+    def _l1_kwargs(self) -> Dict[str, object]:
+        config = self.config
+        return dict(size_bytes=config.l1_size, assoc=config.l1_assoc)
+
+    def _base_kwargs(self, home: str) -> Dict[str, object]:
+        config = self.config
+        return dict(network=self.network, stats=self.stats, home=home,
+                    mshr_entries=config.l1_mshrs,
+                    store_buffer_words=config.store_buffer_words)
+
+    def _build_spandex(self) -> None:
+        config = self.config
+        self.llc = SpandexLLC(
+            self.engine, self.network, self.stats, self.dram,
+            size_bytes=config.llc_size, assoc=config.llc_assoc,
+            access_latency=config.llc_access_latency,
+            banks=config.llc_banks)
+        for index in range(config.num_cpus):
+            name = f"cpu{index}.l1"
+            if config.cpu_protocol == "MESI":
+                l1 = MESIL1(self.engine, name, dialect="spandex",
+                            register_on_network=False,
+                            **self._base_kwargs("llc"), **self._l1_kwargs())
+            else:
+                l1 = DeNovoL1(self.engine, name,
+                              atomic_policy=config.cpu_atomic_policy,
+                              nack_retry_limit=0,
+                              register_on_network=False,
+                              **self._base_kwargs("llc"),
+                              **self._l1_kwargs())
+            tu = make_tu(self.engine, self.network, self.stats, l1,
+                         config.tu_latency)
+            self.llc.device_protocols[name] = l1.PROTOCOL_FAMILY
+            self.latency_model.set_pair(name, "llc", config.net_cpu_llc)
+            self.cpu_l1s.append(l1)
+            core = CPUCore(self.engine, f"cpu{index}", l1, self.stats,
+                           issue_period=config.cpu_issue_period)
+            self.cpus.append(core)
+        for index in range(config.num_gpus):
+            name = f"gpu{index}.l1"
+            if config.gpu_protocol == "GPU":
+                l1 = GPUCoherenceL1(self.engine, name,
+                                    register_on_network=False,
+                                    **self._base_kwargs("llc"),
+                                    **self._l1_kwargs())
+            else:
+                l1 = DeNovoL1(self.engine, name, atomic_policy="own",
+                              nack_retry_limit=0,
+                              register_on_network=False,
+                              **self._base_kwargs("llc"),
+                              **self._l1_kwargs())
+            tu = make_tu(self.engine, self.network, self.stats, l1,
+                         config.tu_latency)
+            self.llc.device_protocols[name] = l1.PROTOCOL_FAMILY
+            self.latency_model.set_pair(name, "llc", config.net_gpu_llc)
+            self.gpu_l1s.append(l1)
+            cu = GPUCU(self.engine, f"gpu{index}", l1, self.stats,
+                       issue_period=config.gpu_issue_period)
+            self.gpus.append(cu)
+
+    def _build_hierarchical(self) -> None:
+        config = self.config
+        self.llc = MESIDirectoryLLC(
+            self.engine, self.network, self.stats, self.dram,
+            size_bytes=config.l3_size, assoc=config.llc_assoc,
+            access_latency=config.l3_access_latency,
+            banks=config.llc_banks)
+        self.gpu_l2 = GPUL2(
+            self.engine, "gpu_l2", self.network, self.stats,
+            size_bytes=config.gpu_l2_size, assoc=config.llc_assoc,
+            access_latency=config.gpu_l2_access_latency,
+            banks=config.llc_banks, l3_name="l3")
+        self.latency_model.set_pair("gpu_l2", "l3", config.net_l2_l3)
+        for index in range(config.num_cpus):
+            name = f"cpu{index}.l1"
+            l1 = MESIL1(self.engine, name, dialect="mesi",
+                        **self._base_kwargs("l3"), **self._l1_kwargs())
+            self.latency_model.set_pair(name, "l3", config.net_cpu_llc)
+            self.cpu_l1s.append(l1)
+            core = CPUCore(self.engine, f"cpu{index}", l1, self.stats,
+                           issue_period=config.cpu_issue_period)
+            self.cpus.append(core)
+        for index in range(config.num_gpus):
+            name = f"gpu{index}.l1"
+            if config.gpu_protocol == "GPU":
+                l1 = GPUCoherenceL1(self.engine, name,
+                                    **self._base_kwargs("gpu_l2"),
+                                    **self._l1_kwargs())
+            else:
+                l1 = DeNovoL1(self.engine, name, atomic_policy="own",
+                              nack_retry_limit=3,
+                              **self._base_kwargs("gpu_l2"),
+                              **self._l1_kwargs())
+            self.gpu_l2.device_protocols[name] = l1.PROTOCOL_FAMILY
+            self.latency_model.set_pair(name, "gpu_l2", config.net_gpu_l2)
+            self.gpu_l1s.append(l1)
+            cu = GPUCU(self.engine, f"gpu{index}", l1, self.stats,
+                       issue_period=config.gpu_issue_period)
+            self.gpus.append(cu)
+
+    # ------------------------------------------------------------------
+    def load_workload(self, workload) -> None:
+        """Assign traces and initialize memory from a Workload."""
+        for addr, value in workload.initial_memory.items():
+            line = addr & ~63
+            self.dram.poke(line, {(addr >> 2) & 15: value})
+        from ..devices.gpu import Warp
+        for core, trace in zip(self.cpus, workload.cpu_traces):
+            core.trace = trace
+        for cu, warp_traces in zip(self.gpus, workload.gpu_traces):
+            cu.warps = [Warp(t) for t in warp_traces]
+
+    def read_coherent(self, addr: int) -> int:
+        """Owner-aware functional read for post-run validation.
+
+        Looks for the word in (priority order) an owning L1, the
+        home-level caches, then DRAM.
+        """
+        from ..protocols.denovo import DeNovoL1, DnState
+        from ..protocols.mesi import MESIL1, MesiState
+        line = addr & ~63
+        index = (addr >> 2) & 15
+        for l1 in list(self.cpu_l1s) + list(self.gpu_l1s):
+            resident = l1.array.lookup(line, touch=False)
+            if resident is None:
+                continue
+            if isinstance(l1, DeNovoL1):
+                if resident.word_states[index] == DnState.O:
+                    return resident.data[index]
+            elif isinstance(l1, MESIL1):
+                if resident.state in (MesiState.M, MesiState.E):
+                    return resident.data[index]
+        for home in (self.gpu_l2, self.llc):
+            if home is None:
+                continue
+            resident = home.array.lookup(line, touch=False)
+            if resident is not None and \
+                    resident.state != home.array.invalid_state:
+                owner = resident.owner[index]
+                if owner is None:
+                    return resident.data[index]
+        return self.dram.peek(line)[index]
+
+    def run(self, max_events: Optional[int] = 50_000_000):
+        """Start every device and run to quiescence."""
+        for core in self.cpus:
+            if core.trace:
+                core.start()
+        for cu in self.gpus:
+            if cu.warps:
+                cu.start()
+        done_times: Dict[str, int] = {}
+        for device in list(self.cpus) + list(self.gpus):
+            def record(dev=device):
+                done_times[dev.name] = self.engine.now
+            device.on_done = record
+        self.engine.run(max_events=max_events)
+        cycles = max(done_times.values()) if done_times else self.engine.now
+        self.stats.set("execution.cycles", cycles)
+        return RunResult(self.config.name, cycles, self.stats, self.dram)
+
+
+class RunResult:
+    """Outcome of one workload execution on one configuration."""
+
+    def __init__(self, config_name: str, cycles: int,
+                 stats: StatsRegistry, dram: MainMemory):
+        self.config_name = config_name
+        self.cycles = cycles
+        self.stats = stats
+        self.dram = dram
+
+    @property
+    def network_bytes(self) -> float:
+        return self.stats.get("network.bytes")
+
+    def mean_load_latency(self, device: str = "cpu") -> float:
+        """Average observed load latency in cycles ('cpu' or 'gpu')."""
+        count = self.stats.get(f"{device}.load_count")
+        if not count:
+            return 0.0
+        return self.stats.get(f"{device}.load_latency_total") / count
+
+    def traffic_by_class(self) -> Dict[str, float]:
+        return self.stats.group("traffic.bytes")
+
+    def read_word(self, addr: int) -> int:
+        """Functional value in DRAM (coherent state is written back by
+        quiescence only for evicted data; use System.read_coherent for
+        an owner-aware read)."""
+        return self.dram.peek(addr & ~63)[(addr >> 2) & 15]
+
+
+def build_system(config: SystemConfig) -> System:
+    return System(config)

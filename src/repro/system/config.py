@@ -1,0 +1,109 @@
+"""System configurations (paper Tables V and VI).
+
+Six memory configurations, named by LLC protocol / CPU L1 protocol /
+GPU L1 protocol:
+
+====  ==========  ======  =============
+name  LLC         CPU L1  GPU L1
+====  ==========  ======  =============
+HMG   H-MESI      MESI    GPU coherence
+HMD   H-MESI      MESI    DeNovo
+SMG   Spandex     MESI    GPU coherence
+SMD   Spandex     MESI    DeNovo
+SDG   Spandex     DeNovo  GPU coherence
+SDD   Spandex     DeNovo  DeNovo
+====  ==========  ======  =============
+
+Hierarchical (H-MESI) configurations route GPU L1s through a shared
+GPU L2 which speaks MESI to a directory L3; Spandex configurations
+attach every L1 directly to the Spandex LLC through a translation unit.
+
+In SDG the CPU DeNovo caches perform atomics at the LLC (ReqWT+data
+rather than ReqO+data), matching the GPU strategy to avoid blocking
+states on inter-device synchronization (paper §IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One simulated memory system (a Table V row + Table VI numbers)."""
+
+    name: str
+    llc_style: str                    # 'spandex' | 'hierarchical'
+    cpu_protocol: str                 # 'MESI' | 'DeNovo'
+    gpu_protocol: str                 # 'GPU' | 'DeNovo'
+    cpu_atomic_policy: str = "own"    # 'own' | 'llc' (DeNovo CPUs only)
+
+    num_cpus: int = 8
+    num_gpus: int = 16
+    cpu_issue_period: int = 1         # 2 GHz reference clock
+    gpu_issue_period: int = 3         # ~700 MHz in CPU cycles
+
+    l1_size: int = 32 * KB
+    l1_assoc: int = 8
+    l1_mshrs: int = 128
+    store_buffer_words: int = 128
+
+    llc_size: int = 8 * MB            # Spandex L2 (Table VI)
+    gpu_l2_size: int = 4 * MB         # hierarchical intermediate L2
+    l3_size: int = 8 * MB             # hierarchical L3
+    llc_banks: int = 16
+    llc_assoc: int = 16
+
+    llc_access_latency: int = 10
+    l3_access_latency: int = 12
+    gpu_l2_access_latency: int = 10
+    dram_latency: int = 160
+
+    net_cpu_llc: int = 10
+    net_gpu_llc: int = 12
+    net_gpu_l2: int = 8
+    net_l2_l3: int = 10
+    net_default: int = 12
+    link_bytes_per_cycle: int = 32
+
+    tu_latency: int = 1
+
+    @property
+    def hierarchical(self) -> bool:
+        return self.llc_style == "hierarchical"
+
+    def describe(self) -> str:
+        llc = "H-MESI" if self.hierarchical else "Spandex"
+        gpu = "GPU coherence" if self.gpu_protocol == "GPU" else "DeNovo"
+        return (f"{self.name}: LLC={llc} CPU L1={self.cpu_protocol} "
+                f"GPU L1={gpu}")
+
+
+#: Table V — the six evaluated cache configurations.
+CONFIGS: Dict[str, SystemConfig] = {
+    "HMG": SystemConfig("HMG", "hierarchical", "MESI", "GPU"),
+    "HMD": SystemConfig("HMD", "hierarchical", "MESI", "DeNovo"),
+    "SMG": SystemConfig("SMG", "spandex", "MESI", "GPU"),
+    "SMD": SystemConfig("SMD", "spandex", "MESI", "DeNovo"),
+    "SDG": SystemConfig("SDG", "spandex", "DeNovo", "GPU",
+                        cpu_atomic_policy="llc"),
+    "SDD": SystemConfig("SDD", "spandex", "DeNovo", "DeNovo"),
+}
+
+CONFIG_ORDER: Tuple[str, ...] = ("HMG", "HMD", "SMG", "SMD", "SDG", "SDD")
+
+HIERARCHICAL_CONFIGS: Tuple[str, ...] = ("HMG", "HMD")
+SPANDEX_CONFIGS: Tuple[str, ...] = ("SMG", "SMD", "SDG", "SDD")
+
+
+def scaled_config(name: str, num_cpus: int, num_gpus: int,
+                  **overrides) -> SystemConfig:
+    """A Table V configuration scaled down (used to keep trace-driven
+    runs tractable while preserving the CPU:GPU ratio)."""
+    base = CONFIGS[name]
+    from dataclasses import replace
+    return replace(base, num_cpus=num_cpus, num_gpus=num_gpus, **overrides)

@@ -1,0 +1,72 @@
+"""Deterministic graph generation for the Pannotia workloads.
+
+The paper runs BC and PR on DIMACS-10 graphs (olesnik, wing).  Offline
+we generate community-structured power-law-ish graphs with the two
+properties those results hinge on: hub vertices that receive most
+updates (temporal locality in atomics, BC) and neighborhoods that
+overlap within a partition (moderate read locality, PR).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class Graph:
+    num_vertices: int
+    #: adjacency (out-edges) per vertex
+    adj: List[List[int]]
+    #: community id per vertex
+    community: List[int]
+    num_communities: int
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(edges) for edges in self.adj)
+
+    def vertices_of(self, community: int) -> List[int]:
+        return [v for v in range(self.num_vertices)
+                if self.community[v] == community]
+
+
+def community_graph(num_vertices: int = 480, num_communities: int = 12,
+                    out_degree: int = 6, hub_count: int = 4,
+                    hub_bias: float = 0.7, inter_fraction: float = 0.15,
+                    seed: int = 2018) -> Graph:
+    """Generate a directed graph with community structure and hubs.
+
+    * vertices are split evenly into ``num_communities`` communities;
+    * each vertex has ``out_degree`` edges; a ``hub_bias`` fraction
+      target one of the community's ``hub_count`` hub vertices (high
+      temporal locality for push-style atomic updates);
+    * an ``inter_fraction`` of edges crosses communities (flat sharing
+      between the devices that own different partitions).
+    """
+    rng = random.Random(seed)
+    per_community = num_vertices // num_communities
+    community = [v // per_community if v // per_community < num_communities
+                 else num_communities - 1 for v in range(num_vertices)]
+    members: Dict[int, List[int]] = {}
+    for v in range(num_vertices):
+        members.setdefault(community[v], []).append(v)
+    hubs = {c: vs[:hub_count] for c, vs in members.items()}
+
+    adj: List[List[int]] = [[] for _ in range(num_vertices)]
+    for v in range(num_vertices):
+        c = community[v]
+        targets: List[int] = []
+        for _ in range(out_degree):
+            if rng.random() < inter_fraction:
+                other = rng.randrange(num_communities)
+                pool = members[other]
+                targets.append(rng.choice(pool))
+            elif rng.random() < hub_bias:
+                targets.append(rng.choice(hubs[c]))
+            else:
+                targets.append(rng.choice(members[c]))
+        # drop self-loops, keep duplicates (repeat updates = locality)
+        adj[v] = [t for t in targets if t != v]
+    return Graph(num_vertices, adj, community, num_communities)

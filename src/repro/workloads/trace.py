@@ -1,0 +1,144 @@
+"""Trace format consumed by the device models.
+
+A trace is a list of :class:`Op` per hardware thread (CPU core) or per
+warp (GPU CU).  Memory operations carry 4-byte word addresses; GPU
+vector operations carry one address per lane and are coalesced by the
+device model.  Synchronization is expressed with acquire/release fences
+and spinning flag reads, which is how the DRF programs of the paper's
+workloads synchronize (atomics + flags), so sync cost flows through the
+coherence protocols rather than being magicked away.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..coherence.messages import AtomicOp
+
+
+class OpKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    RMW = "rmw"
+    SPIN_LOAD = "spin_load"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    COMPUTE = "compute"
+
+
+class Op:
+    """One trace operation.  Use the classmethod constructors.
+
+    ``regions`` (on acquire-flavoured ops) limits self-invalidation to
+    the given ``(base, nbytes)`` ranges — the DeNovo *regions*
+    optimization (paper §II-C): software knows which data may be stale,
+    so only that data is invalidated at the synchronization point.
+
+    ``scope`` (on sync ops) is ``"device"`` (default: system-wide
+    synchronization) or ``"cu"`` — scoped synchronization (paper
+    §III-E): threads sharing an L1 need neither a flush nor an
+    invalidation to synchronize with each other.
+    """
+
+    __slots__ = ("kind", "addrs", "value", "atomic", "cycles",
+                 "spin_until", "acquire", "release", "regions", "scope",
+                 "uid")
+    _uids = itertools.count()
+
+    def __init__(self, kind: OpKind,
+                 addrs: Optional[Sequence[int]] = None,
+                 value: int = 0, atomic: Optional[AtomicOp] = None,
+                 cycles: int = 0,
+                 spin_until: Optional[Callable[[int], bool]] = None,
+                 acquire: bool = False, release: bool = False,
+                 regions: Optional[List[Tuple[int, int]]] = None,
+                 scope: str = "device"):
+        self.kind = kind
+        self.addrs = list(addrs) if addrs is not None else []
+        self.value = value
+        self.atomic = atomic
+        self.cycles = cycles
+        self.spin_until = spin_until
+        self.acquire = acquire
+        self.release = release
+        self.regions = regions
+        self.scope = scope
+        self.uid = next(Op._uids)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def load(cls, addr: Union[int, Sequence[int]]) -> "Op":
+        addrs = [addr] if isinstance(addr, int) else list(addr)
+        return cls(OpKind.LOAD, addrs)
+
+    @classmethod
+    def store(cls, addr: Union[int, Sequence[int]], value: int = 0) -> "Op":
+        addrs = [addr] if isinstance(addr, int) else list(addr)
+        return cls(OpKind.STORE, addrs, value=value)
+
+    @classmethod
+    def rmw(cls, addr: int, atomic: AtomicOp, acquire: bool = False,
+            release: bool = False,
+            regions: Optional[List[Tuple[int, int]]] = None,
+            scope: str = "device") -> "Op":
+        return cls(OpKind.RMW, [addr], atomic=atomic, acquire=acquire,
+                   release=release, regions=regions, scope=scope)
+
+    @classmethod
+    def spin_load(cls, addr: int, until: Callable[[int], bool],
+                  regions: Optional[List[Tuple[int, int]]] = None,
+                  scope: str = "device") -> "Op":
+        """Spin reading ``addr`` until ``until(value)``; acts as an
+        acquire once it succeeds."""
+        return cls(OpKind.SPIN_LOAD, [addr], spin_until=until,
+                   acquire=True, regions=regions, scope=scope)
+
+    @classmethod
+    def spin_ge(cls, addr: int, threshold: int,
+                regions: Optional[List[Tuple[int, int]]] = None,
+                scope: str = "device") -> "Op":
+        return cls.spin_load(addr, lambda v, t=threshold: v >= t,
+                             regions=regions, scope=scope)
+
+    @classmethod
+    def acquire_fence(cls,
+                      regions: Optional[List[Tuple[int, int]]] = None,
+                      scope: str = "device") -> "Op":
+        return cls(OpKind.ACQUIRE, acquire=True, regions=regions,
+                   scope=scope)
+
+    @classmethod
+    def release_fence(cls, scope: str = "device") -> "Op":
+        return cls(OpKind.RELEASE, release=True, scope=scope)
+
+    @classmethod
+    def compute(cls, cycles: int) -> "Op":
+        return cls(OpKind.COMPUTE, cycles=cycles)
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.addrs:
+            extra = f" 0x{self.addrs[0]:x}" + (
+                f"(+{len(self.addrs) - 1})" if len(self.addrs) > 1 else "")
+        return f"<Op {self.kind.value}{extra}>"
+
+
+Trace = List[Op]
+
+
+class AddressSpace:
+    """Bump allocator handing out line-aligned regions of the shared
+    address space, so workload generators don't overlap buffers."""
+
+    def __init__(self, base: int = 0x1000_0000):
+        self._next = base
+
+    def alloc_words(self, nwords: int, align: int = 64) -> int:
+        base = (self._next + align - 1) & ~(align - 1)
+        self._next = base + nwords * 4
+        return base
+
+    def alloc_lines(self, nlines: int) -> int:
+        return self.alloc_words(nlines * 16)

@@ -1,0 +1,67 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "BC" in out and "ReuseO" in out
+    for config in ("HMG", "SDD"):
+        assert config in out
+
+
+def test_run_single_config(capsys):
+    code = main(["run", "TQH", "--config", "SDD", "--cpus", "2",
+                 "--gpus", "2", "--warps", "1", "--check"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "SDD" in out and "memory: OK" in out
+
+
+def test_run_with_invariants_and_traffic(capsys):
+    code = main(["run", "TRNS", "--config", "SMG", "--cpus", "2",
+                 "--gpus", "2", "--warps", "1", "--check",
+                 "--invariants", "--traffic"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "invariants: OK" in out
+    assert "ReqO+data" in out or "ReqWT" in out
+
+
+def test_run_all_configs(capsys):
+    code = main(["run", "HSTI", "--config", "all", "--cpus", "2",
+                 "--gpus", "2", "--warps", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for config in ("HMG", "HMD", "SMG", "SMD", "SDG", "SDD"):
+        assert config in out
+
+
+def test_headline(capsys):
+    code = main(["headline", "--cpus", "2", "--gpus", "2",
+                 "--warps", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Sbest vs Hbest" in out and "paper" in out
+
+
+def test_bad_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "NotAWorkload"])
+
+
+def test_bad_config_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "BC", "--config", "XYZ"])
+
+
+def test_save_and_replay(tmp_path, capsys):
+    path = str(tmp_path / "bc.json")
+    assert main(["save", "BC", path, "--cpus", "2", "--gpus", "2",
+                 "--warps", "1"]) == 0
+    assert main(["replay", path, "--config", "SDD", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "saved BC" in out and "memory: OK" in out

@@ -1,0 +1,139 @@
+"""SC-for-DRF litmus tests (paper §III-E).
+
+Classic message-passing and flag-synchronization patterns run on every
+configuration: after a release->acquire chain, the consumer must see
+every prior write of the producer.
+"""
+
+import pytest
+
+from repro.system import CONFIG_ORDER, build_system, scaled_config
+from repro.workloads import Workload
+from repro.workloads.trace import AddressSpace, Op
+from repro.coherence.messages import atomic_add
+
+
+def run_workload(workload, config_name):
+    system = build_system(scaled_config(config_name, 2, 2))
+    system.load_workload(workload)
+    system.run(max_events=5_000_000)
+    return system
+
+
+@pytest.mark.parametrize("config_name", CONFIG_ORDER)
+def test_message_passing_cpu_to_gpu(config_name):
+    """CPU writes a buffer, releases a flag; a GPU warp spins, acquires,
+    reads the buffer.  Every word must be the CPU's value."""
+    space = AddressSpace()
+    data = space.alloc_lines(4)
+    flag = space.alloc_words(1)
+    producer = [Op.store(data + 4 * i, 1000 + i) for i in range(64)]
+    producer.append(Op.rmw(flag, atomic_add(1), release=True))
+    consumer = [Op.spin_ge(flag, 1)]
+    consumer += [Op.load(data + 4 * i) for i in range(64)]
+    workload = Workload("mp", [producer, []], [[consumer], []])
+    system = run_workload(workload, config_name)
+    for i in range(64):
+        assert system.read_coherent(data + 4 * i) == 1000 + i
+
+
+@pytest.mark.parametrize("config_name", CONFIG_ORDER)
+def test_message_passing_gpu_to_cpu(config_name):
+    space = AddressSpace()
+    data = space.alloc_lines(2)
+    flag = space.alloc_words(1)
+    producer = [Op.store([data + 4 * i for i in range(8)], 7)]
+    producer.append(Op.store([data + 4 * i for i in range(8, 16)], 7))
+    producer.append(Op.rmw(flag, atomic_add(1), release=True))
+    consumer = [Op.spin_ge(flag, 1)]
+    consumer += [Op.load(data + 4 * i) for i in range(16)]
+    workload = Workload("mp2", [consumer, []], [[producer], []])
+    system = run_workload(workload, config_name)
+    for i in range(16):
+        assert system.read_coherent(data + 4 * i) == 7
+
+
+@pytest.mark.parametrize("config_name", CONFIG_ORDER)
+def test_ping_pong_flag_chain(config_name):
+    """Two threads alternate via flags; each round reads the other's
+    previous write (transitive happens-before)."""
+    space = AddressSpace()
+    cell = space.alloc_words(1)
+    flags = [space.alloc_words(1) for _ in range(6)]
+    ping, pong = [], []
+    for round_index in range(3):
+        ping.append(Op.store(cell, 10 + round_index))
+        ping.append(Op.rmw(flags[2 * round_index], atomic_add(1),
+                           release=True))
+        ping.append(Op.spin_ge(flags[2 * round_index + 1], 1))
+        pong.append(Op.spin_ge(flags[2 * round_index], 1))
+        pong.append(Op.store(cell, 20 + round_index))
+        pong.append(Op.rmw(flags[2 * round_index + 1], atomic_add(1),
+                           release=True))
+    ping.append(Op.load(cell))
+    workload = Workload("pingpong", [ping, []], [[pong], []])
+    system = run_workload(workload, config_name)
+    assert system.read_coherent(cell) == 22
+
+
+@pytest.mark.parametrize("config_name", CONFIG_ORDER)
+def test_atomic_counter_all_participants(config_name):
+    """Every thread increments a shared counter k times: the final
+    value is exactly the number of increments (write serialization and
+    atomicity at whatever point the config performs atomics)."""
+    space = AddressSpace()
+    counter = space.alloc_words(1)
+    k = 6
+    cpu = [[Op.rmw(counter, atomic_add(1)) for _ in range(k)]
+           for _ in range(2)]
+    gpu = [[[Op.rmw(counter, atomic_add(1)) for _ in range(k)]]
+           for _ in range(2)]
+    workload = Workload("counter", cpu, gpu)
+    system = run_workload(workload, config_name)
+    assert system.read_coherent(counter) == 4 * k
+
+
+@pytest.mark.parametrize("config_name", CONFIG_ORDER)
+def test_barrier_separated_phases(config_name):
+    """Phase 1 writers, barrier, phase 2 readers-then-writers: the
+    reference executor's final memory matches the system's."""
+    space = AddressSpace()
+    region = space.alloc_lines(2)
+    region2 = space.alloc_lines(2)
+    barrier = space.alloc_words(1)
+    threads = []
+    participants = 4
+    for tid in range(participants):
+        ops = []
+        for k in range(8):
+            ops.append(Op.store(region + 4 * (tid * 8 + k), tid + 1))
+        ops.append(Op.rmw(barrier, atomic_add(1), release=True))
+        ops.append(Op.spin_ge(barrier, participants))
+        # read a neighbour's phase-1 slice, write own phase-2 slice
+        neighbour = (tid + 1) % participants
+        for k in range(8):
+            ops.append(Op.load(region + 4 * (neighbour * 8 + k)))
+        for k in range(8):
+            ops.append(Op.store(region2 + 4 * (tid * 8 + k), 100 + tid))
+        threads.append(ops)
+    workload = Workload("phases", threads[:2],
+                        [[threads[2]], [threads[3]]])
+    reference = workload.reference()
+    system = run_workload(workload, config_name)
+    for addr, value in reference.memory.items():
+        assert system.read_coherent(addr) == value
+
+
+def test_release_fence_orders_plain_store_flag():
+    """A plain-store flag after a release fence is visible only after
+    the data (the classic non-atomic publication idiom)."""
+    space = AddressSpace()
+    data = space.alloc_words(1)
+    flag = space.alloc_words(1)
+    producer = [Op.store(data, 99), Op.release_fence(),
+                Op.store(flag, 1)]
+    consumer = [Op.spin_ge(flag, 1), Op.load(data)]
+    workload = Workload("pub", [producer, consumer], [[], []])
+    for config_name in ("SDD", "HMG"):
+        system = run_workload(workload, config_name)
+        assert system.read_coherent(data) == 99

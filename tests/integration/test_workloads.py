@@ -1,0 +1,162 @@
+"""Workload generator tests: DRF certification, Table VII metadata,
+and the structural properties each workload's evaluation relies on.
+"""
+
+import pytest
+
+from repro.workloads import (APPLICATIONS, MICROBENCHMARKS, Workload,
+                             community_graph)
+from repro.workloads.trace import AddressSpace, Op, OpKind
+
+SMALL = dict(num_cpus=2, num_gpus=2, warps_per_cu=2)
+
+ALL = {}
+ALL.update(MICROBENCHMARKS)
+ALL.update(APPLICATIONS)
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_workload_is_data_race_free(name):
+    workload = ALL[name](**SMALL)
+    result = workload.reference()      # raises DataRace on a violation
+    assert result.memory
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_workload_shapes(name):
+    workload = ALL[name](**SMALL)
+    assert len(workload.cpu_traces) == 2
+    assert len(workload.gpu_traces) == 2
+    assert workload.total_ops() > 100
+
+
+def test_table_vii_metadata():
+    """Table VII: partitioning / synchronization / sharing per app."""
+    expectations = {
+        "BC": ("data", "fine-grain", "flat"),
+        "PR": ("data", "coarse-grain", "flat"),
+        "HSTI": ("data", "fine-grain", "flat"),
+        "TRNS": ("data", "fine-grain", "flat"),
+        "RSCT": ("task", "fine-grain", "hierarchical"),
+        "TQH": ("task", "fine-grain", "hierarchical"),
+    }
+    for name, (part, sync, sharing) in expectations.items():
+        meta = APPLICATIONS[name](**SMALL).meta
+        assert meta.partitioning == part, name
+        assert meta.synchronization == sync, name
+        assert meta.sharing == sharing, name
+        assert meta.suite in ("Pannotia", "Chai")
+
+
+def test_bc_atomics_concentrate_on_hubs():
+    workload = APPLICATIONS["BC"](**SMALL)
+    from collections import Counter
+    targets = Counter()
+    for trace in workload.all_threads():
+        for op in trace:
+            if op.kind == OpKind.RMW:
+                targets[op.addrs[0]] += 1
+    counts = sorted(targets.values(), reverse=True)
+    total = sum(counts)
+    top_decile = counts[:max(1, len(counts) // 10)]
+    # hubs (top 10% of targets) receive most atomic updates
+    assert sum(top_decile) > 0.5 * total
+
+
+def test_pr_has_no_atomics_and_coarse_sync():
+    workload = APPLICATIONS["PR"](**SMALL)
+    rmw_count = sum(1 for t in workload.all_threads() for op in t
+                    if op.kind == OpKind.RMW)
+    load_count = sum(1 for t in workload.all_threads() for op in t
+                     if op.kind == OpKind.LOAD)
+    # the only RMWs are the per-iteration barrier arrivals
+    barriers = 3 * len(workload.all_threads())
+    assert rmw_count == barriers
+    assert load_count > 10 * rmw_count
+
+
+def test_rsct_gpu_warps_read_identical_input():
+    workload = APPLICATIONS["RSCT"](**SMALL)
+    reads_per_warp = []
+    for cu in workload.gpu_traces:
+        for warp in cu:
+            reads = frozenset(addr for op in warp
+                              if op.kind == OpKind.LOAD
+                              for addr in op.addrs)
+            reads_per_warp.append(reads)
+    assert len(set(reads_per_warp)) == 1       # hierarchical sharing
+
+
+def test_tqh_gpu_partitions_are_disjoint():
+    workload = APPLICATIONS["TQH"](**SMALL)
+    per_cu_reads = []
+    for cu in workload.gpu_traces:
+        reads = set()
+        for warp in cu:
+            for op in warp:
+                if op.kind == OpKind.LOAD:
+                    reads.update(op.addrs)
+        per_cu_reads.append(reads)
+    # the streamed input partitions don't overlap between CUs
+    # (shared queue/ histogram words excluded by taking the large sets)
+    data_reads = [r for r in per_cu_reads]
+    overlap = data_reads[0] & data_reads[1]
+    assert len(overlap) < 0.2 * min(len(s) for s in data_reads)
+
+
+def test_indirection_accesses_are_strided():
+    workload = MICROBENCHMARKS["Indirection"](**SMALL)
+    trace = workload.cpu_traces[0]
+    lines = [op.addrs[0] & ~63 for op in trace
+             if op.kind == OpKind.LOAD][:32]
+    assert len(set(lines)) == len(lines)       # one access per line
+
+
+def test_reuse_o_tiles_fit_in_l1():
+    workload = MICROBENCHMARKS["ReuseO"](**SMALL)
+    params = workload.meta.parameters
+    assert params["tile_lines"] * 64 < 32 * 1024
+
+
+def test_community_graph_structure():
+    graph = community_graph(num_vertices=120, num_communities=6,
+                            out_degree=5, seed=1)
+    assert graph.num_vertices == 120
+    assert graph.num_communities == 6
+    for community in range(6):
+        assert len(graph.vertices_of(community)) == 20
+    # hubs receive disproportionate in-edges
+    from collections import Counter
+    indeg = Counter()
+    for edges in graph.adj:
+        for target in edges:
+            indeg[target] += 1
+    top = sum(count for _, count in indeg.most_common(24))
+    assert top > 0.5 * graph.num_edges
+
+
+def test_graph_no_self_loops():
+    graph = community_graph(num_vertices=60, num_communities=3, seed=2)
+    for vertex, edges in enumerate(graph.adj):
+        assert vertex not in edges
+
+
+def test_address_space_no_overlap():
+    space = AddressSpace()
+    a = space.alloc_lines(2)
+    b = space.alloc_words(5)
+    c = space.alloc_lines(1)
+    assert b >= a + 2 * 64
+    assert c >= b + 5 * 4
+    assert a % 64 == 0 and c % 64 == 0
+
+
+def test_op_constructors():
+    load = Op.load(0x104)
+    assert load.kind == OpKind.LOAD and load.addrs == [0x104]
+    vec = Op.store([0x100, 0x140], 7)
+    assert vec.addrs == [0x100, 0x140] and vec.value == 7
+    spin = Op.spin_ge(0x200, 3)
+    assert spin.acquire and spin.spin_until(3) and not spin.spin_until(2)
+    fence = Op.release_fence()
+    assert fence.release

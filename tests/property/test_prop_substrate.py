@@ -1,0 +1,133 @@
+"""Property-based tests on the substrate data structures."""
+
+import enum
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.addr import (FULL_LINE_MASK, iter_mask, line_of,
+                                  mask_of_words, popcount,
+                                  split_line_range, word_addr, word_index)
+from repro.mem.cache import CacheArray
+from repro.mem.store_buffer import StoreBuffer
+from repro.sim.engine import Engine
+
+
+class St2(enum.Enum):
+    I = "I"
+    V = "V"
+
+
+# -- address geometry ---------------------------------------------------------
+@given(st.integers(min_value=0, max_value=2**48))
+def test_line_word_decomposition_roundtrip(addr):
+    word = addr & ~3
+    assert word_addr(line_of(word), word_index(word)) == word
+
+
+@given(st.sets(st.integers(min_value=0, max_value=15)))
+def test_mask_roundtrip(indices):
+    mask = mask_of_words(indices)
+    assert set(iter_mask(mask)) == indices
+    assert popcount(mask) == len(indices)
+    assert 0 <= mask <= FULL_LINE_MASK
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.integers(0, 512))
+def test_split_line_range_covers_exactly(base, nbytes):
+    pairs = split_line_range(base, nbytes)
+    words = set()
+    for line, mask in pairs:
+        assert line % 64 == 0
+        for index in iter_mask(mask):
+            words.add(line + 4 * index)
+    if nbytes == 0:
+        assert not words
+        return
+    start = base & ~3
+    expected = set(range(start, base + nbytes, 4))
+    expected = {w & ~3 for w in expected}
+    assert words == expected
+
+
+# -- engine -------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=1000),
+                min_size=1, max_size=50))
+def test_engine_processes_in_sorted_order(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda d=delay: fired.append(d))
+    engine.run()
+    assert fired == sorted(delays)
+    assert len(fired) == len(delays)
+
+
+# -- store buffer -------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(0, 3),        # line selector
+                          st.integers(0, 15),       # word index
+                          st.integers(0, 1000)),    # value
+                min_size=1, max_size=60))
+def test_store_buffer_forward_reflects_last_write(stores):
+    buffer = StoreBuffer(capacity_words=256)
+    last = {}
+    for line_sel, index, value in stores:
+        line = 0x1000 + line_sel * 64
+        buffer.push(line, 1 << index, {index: value})
+        last[(line, index)] = value
+    for (line, index), value in last.items():
+        assert buffer.forward(line, 1 << index) == {index: value}
+
+
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 15)),
+                min_size=1, max_size=64))
+def test_store_buffer_word_accounting(stores):
+    buffer = StoreBuffer(capacity_words=1024)
+    expected = set()
+    for line_sel, index in stores:
+        line = line_sel * 64
+        buffer.push(line, 1 << index, {index: 1})
+        expected.add((line, index))
+    assert buffer.words == len(expected)
+
+
+# -- cache array --------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                max_size=200))
+@settings(max_examples=50)
+def test_cache_never_exceeds_capacity(line_selectors):
+    array = CacheArray(64 * 16, 4, St2.I)      # 4 sets x 4 ways
+    for selector in line_selectors:
+        line = selector * 64
+        if array.lookup(line) is not None:
+            continue
+        victim = array.victim_for(line)
+        if victim is not None:
+            array.evict(victim.line)
+        array.install(line)
+        per_set = {}
+        for resident in array.lines():
+            set_index = (resident.line // 64) % 4
+            per_set[set_index] = per_set.get(set_index, 0) + 1
+        assert all(count <= 4 for count in per_set.values())
+
+
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=5,
+                max_size=100))
+@settings(max_examples=50)
+def test_cache_lru_evicts_least_recent(accesses):
+    array = CacheArray(64 * 8, 8, St2.I)       # fully associative set
+    touched = []
+    for selector in accesses:
+        line = selector * 8 * 64                # all in one set
+        if array.lookup(line) is None:
+            victim = array.victim_for(line)
+            if victim is not None:
+                # LRU: the victim must be the least recently touched
+                resident = [l for l in touched if array.lookup(
+                    l, touch=False) is not None]
+                oldest = next(l for l in resident)
+                assert victim.line == oldest
+                array.evict(victim.line)
+            array.install(line)
+        touched = [l for l in touched if l != line] + [line]

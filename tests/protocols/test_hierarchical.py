@@ -1,0 +1,213 @@
+"""Hierarchical baseline tests: MESI directory L3 and GPU L2.
+
+Exercises the blocking directory transients and the GPU L2's dual role
+(Spandex-style home for its L1s, MESI client upward) — the organization
+Spandex is evaluated against (paper §II-D, §IV-A).
+"""
+
+from typing import Dict
+
+from repro.coherence.messages import atomic_add
+from repro.core.tu import make_tu
+from repro.mem.dram import MainMemory
+from repro.network.noc import LatencyModel, Network
+from repro.protocols.base import Access
+from repro.protocols.denovo import DeNovoL1, DnState
+from repro.protocols.gpu_coherence import GPUCoherenceL1
+from repro.protocols.gpu_l2 import GPUL2
+from repro.protocols.mesi import MESIL1, MesiState
+from repro.protocols.mesi_llc import DirState, MESIDirectoryLLC
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsRegistry
+
+from tests.harness import Completion
+
+LINE = 0x2000
+
+
+class MiniHier:
+    """CPU MESI L1s + GPU L1s behind a GPU L2, over a directory L3."""
+
+    def __init__(self, cpus=1, gpus=1, gpu_protocol="GPU"):
+        self.engine = Engine()
+        self.stats = StatsRegistry()
+        self.network = Network(self.engine, self.stats,
+                               LatencyModel(default=5))
+        self.dram = MainMemory(self.engine, self.stats, latency=20)
+        self.l3 = MESIDirectoryLLC(self.engine, self.network, self.stats,
+                                   self.dram, size_bytes=256 * 1024,
+                                   access_latency=3)
+        self.gpu_l2 = GPUL2(self.engine, "gpu_l2", self.network,
+                            self.stats, size_bytes=64 * 1024,
+                            access_latency=2, l3_name="l3")
+        self.l1s: Dict[str, object] = {}
+        for i in range(cpus):
+            name = f"cpu{i}"
+            self.l1s[name] = MESIL1(
+                self.engine, name, self.network, self.stats, home="l3",
+                dialect="mesi", size_bytes=8 * 1024, coalesce_delay=1)
+        for i in range(gpus):
+            name = f"gpu{i}"
+            cls = GPUCoherenceL1 if gpu_protocol == "GPU" else DeNovoL1
+            kwargs = dict(size_bytes=8 * 1024, coalesce_delay=1)
+            if gpu_protocol == "DeNovo":
+                kwargs["nack_retry_limit"] = 3
+            l1 = cls(self.engine, name, self.network, self.stats,
+                     home="gpu_l2", **kwargs)
+            self.gpu_l2.device_protocols[name] = l1.PROTOCOL_FAMILY
+            self.l1s[name] = l1
+
+    def run(self, **kwargs):
+        return self.engine.run(max_events=kwargs.pop("max_events", 500_000),
+                               **kwargs)
+
+    def access(self, device, kind, line, mask, values=None, atomic=None):
+        completion = Completion()
+        access = Access(kind, line, mask, callback=completion,
+                        values=values or {}, atomic=atomic)
+        completion.accepted = self.l1s[device].try_access(access)
+        return completion
+
+    def release(self, device):
+        completion = Completion()
+        self.l1s[device].fence_release(lambda: completion({}))
+        return completion
+
+
+def test_cpu_gets_exclusive_then_shared():
+    mini = MiniHier(cpus=2)
+    mini.dram.poke(LINE, {0: 5})
+    load = mini.access("cpu0", "load", LINE, 0b1)
+    mini.run()
+    assert load.values[0] == 5
+    assert mini.l1s["cpu0"].array.lookup(LINE, touch=False).state == \
+        MesiState.E
+    # second reader: FwdGetS downgrades the first to S
+    load2 = mini.access("cpu1", "load", LINE, 0b1)
+    mini.run()
+    assert load2.values[0] == 5
+    assert mini.l1s["cpu0"].array.lookup(LINE, touch=False).state == \
+        MesiState.S
+    dir_line = mini.l3.array.lookup(LINE, touch=False)
+    assert dir_line.state == DirState.S
+
+
+def test_getm_invalidates_sharers():
+    mini = MiniHier(cpus=2)
+    mini.dram.poke(LINE, {0: 5})
+    mini.access("cpu0", "load", LINE, 0b1)
+    mini.run()
+    mini.access("cpu1", "load", LINE, 0b1)
+    mini.run()
+    store = mini.access("cpu0", "store", LINE, 0b1, values={0: 9})
+    release = mini.release("cpu0")
+    mini.run()
+    assert release.done
+    assert mini.l1s["cpu1"].array.lookup(LINE, touch=False) is None
+    assert mini.l1s["cpu0"].array.lookup(LINE, touch=False).state == \
+        MesiState.M
+
+
+def test_dirty_transfer_between_cpus():
+    mini = MiniHier(cpus=2)
+    mini.access("cpu0", "store", LINE, 0b1, values={0: 77})
+    mini.release("cpu0")
+    mini.run()
+    load = mini.access("cpu1", "load", LINE, 0b1)
+    mini.run()
+    assert load.values[0] == 77
+
+
+def test_gpu_write_through_goes_through_l2():
+    mini = MiniHier(cpus=1, gpus=1)
+    mini.access("gpu0", "store", LINE, 0b1, values={0: 11})
+    release = mini.release("gpu0")
+    mini.run()
+    assert release.done
+    l2_line = mini.gpu_l2.array.lookup(LINE, touch=False)
+    assert l2_line is not None and l2_line.data[0] == 11
+    # the L2 holds the line in M upstream; dir records it as owner
+    dir_line = mini.l3.array.lookup(LINE, touch=False)
+    assert dir_line.state == DirState.M
+    assert dir_line.meta["owner"] == "gpu_l2"
+
+
+def test_cpu_read_recalls_gpu_l2_dirty_line():
+    mini = MiniHier(cpus=1, gpus=1)
+    mini.access("gpu0", "store", LINE, 0b1, values={0: 13})
+    mini.release("gpu0")
+    mini.run()
+    load = mini.access("cpu0", "load", LINE, 0b1)
+    mini.run()
+    assert load.values[0] == 13
+    # the L2 was downgraded to S upstream
+    l2_line = mini.gpu_l2.array.lookup(LINE, touch=False)
+    assert l2_line.meta.get("up_state") == "S"
+
+
+def test_l2_recalls_l1_owned_words_on_fwd_getm():
+    # HMD: DeNovo GPU L1 owns a word inside the L2; a CPU write must
+    # pull the word back through the recall machinery.
+    mini = MiniHier(cpus=1, gpus=1, gpu_protocol="DeNovo")
+    mini.access("gpu0", "store", LINE, 0b1, values={0: 21})
+    mini.release("gpu0")
+    mini.run()
+    l2_line = mini.gpu_l2.array.lookup(LINE, touch=False)
+    assert l2_line.owner[0] == "gpu0"
+    store = mini.access("cpu0", "store", LINE, 0b10, values={1: 5})
+    release = mini.release("cpu0")
+    mini.run()
+    assert release.done
+    cpu_line = mini.l1s["cpu0"].array.lookup(LINE, touch=False)
+    assert cpu_line.state == MesiState.M
+    assert cpu_line.data[0] == 21       # recalled dirty word traveled
+    # the gpu L1 lost ownership
+    gpu_line = mini.l1s["gpu0"].array.lookup(LINE, touch=False)
+    assert gpu_line is None or gpu_line.word_states[0] != DnState.O
+
+
+def test_gpu_atomic_performed_at_l2():
+    mini = MiniHier(cpus=0, gpus=2)
+    rmw1 = mini.access("gpu0", "rmw", LINE, 0b1, atomic=atomic_add(1))
+    mini.run()
+    rmw2 = mini.access("gpu1", "rmw", LINE, 0b1, atomic=atomic_add(1))
+    mini.run()
+    assert rmw1.values[0] == 0
+    assert rmw2.values[0] == 1
+    assert mini.gpu_l2.array.lookup(LINE, touch=False).data[0] == 2
+
+
+def test_l2_eviction_putm_releases_ownership():
+    mini = MiniHier(cpus=1, gpus=1)
+    mini.access("gpu0", "store", LINE, 0b1, values={0: 3})
+    mini.release("gpu0")
+    mini.run()
+    l2_line = mini.gpu_l2.array.lookup(LINE, touch=False)
+    mini.gpu_l2._evict(l2_line, lambda: None)
+    mini.run()
+    dir_line = mini.l3.array.lookup(LINE, touch=False)
+    assert dir_line.state == DirState.V
+    assert dir_line.data[0] == 3
+
+
+def test_directory_blocking_serializes_writers():
+    mini = MiniHier(cpus=2, gpus=1)
+    # everyone hammers the same word through different paths
+    mini.access("cpu0", "rmw", LINE, 0b1, atomic=atomic_add(1))
+    mini.access("cpu1", "rmw", LINE, 0b1, atomic=atomic_add(1))
+    mini.access("gpu0", "rmw", LINE, 0b1, atomic=atomic_add(1))
+    mini.run()
+    values = []
+    dir_line = mini.l3.array.lookup(LINE, touch=False)
+    # the final count must be exactly 3 wherever the line lives
+    if dir_line.state == DirState.M:
+        owner = dir_line.meta["owner"]
+        if owner == "gpu_l2":
+            values.append(mini.gpu_l2.array.lookup(
+                LINE, touch=False).data[0])
+        else:
+            values.append(mini.l1s[owner].array.lookup(
+                LINE, touch=False).data[0])
+    else:
+        values.append(dir_line.data[0])
+    assert values == [3]

@@ -1,0 +1,71 @@
+"""Unit tests for address geometry helpers."""
+
+from repro.coherence.addr import (FULL_LINE_MASK, LINE_BYTES, WORD_BYTES,
+                                  WORDS_PER_LINE, iter_mask, line_of,
+                                  mask_of, mask_of_words, popcount,
+                                  split_line_range, word_addr, word_index)
+
+
+def test_geometry_constants():
+    assert LINE_BYTES == 64
+    assert WORD_BYTES == 4
+    assert WORDS_PER_LINE == 16
+    assert FULL_LINE_MASK == 0xFFFF
+
+
+def test_line_of_alignment():
+    assert line_of(0) == 0
+    assert line_of(63) == 0
+    assert line_of(64) == 64
+    assert line_of(0x12345) == 0x12340
+
+
+def test_word_index_cycles_through_line():
+    assert word_index(0) == 0
+    assert word_index(4) == 1
+    assert word_index(60) == 15
+    assert word_index(64) == 0
+
+
+def test_word_addr_roundtrip():
+    for index in range(16):
+        addr = word_addr(0x1000, index)
+        assert line_of(addr) == 0x1000
+        assert word_index(addr) == index
+
+
+def test_mask_of_single_word():
+    assert mask_of(0) == 1
+    assert mask_of(4) == 2
+    assert mask_of(60) == 1 << 15
+
+
+def test_mask_of_words_and_iter_mask_roundtrip():
+    indices = [0, 3, 7, 15]
+    mask = mask_of_words(indices)
+    assert list(iter_mask(mask)) == indices
+
+
+def test_popcount():
+    assert popcount(0) == 0
+    assert popcount(FULL_LINE_MASK) == 16
+    assert popcount(0b1010) == 2
+
+
+def test_split_line_range_within_line():
+    pairs = split_line_range(0x100, 8)
+    assert pairs == [(0x100, 0b11)]
+
+
+def test_split_line_range_spanning_lines():
+    pairs = split_line_range(60, 8)
+    assert pairs == [(0, 1 << 15), (64, 1)]
+
+
+def test_split_line_range_empty():
+    assert split_line_range(0x100, 0) == []
+
+
+def test_split_line_range_subword_rounds_to_word():
+    pairs = split_line_range(0x102, 1)
+    assert pairs == [(0x100, 1)]

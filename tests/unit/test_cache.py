@@ -1,0 +1,120 @@
+"""Unit tests for the set-associative cache array."""
+
+import enum
+
+import pytest
+
+from repro.coherence.addr import FULL_LINE_MASK
+from repro.mem.cache import CacheArray
+
+
+class St(enum.Enum):
+    I = "I"
+    V = "V"
+    O = "O"
+
+
+def make_array(sets=4, assoc=2):
+    return CacheArray(64 * sets * assoc, assoc, St.I)
+
+
+def test_install_and_lookup():
+    array = make_array()
+    entry = array.install(0x100)
+    assert array.lookup(0x100) is entry
+    assert array.lookup(0x140) is None
+
+
+def test_install_duplicate_rejected():
+    array = make_array()
+    array.install(0x100)
+    with pytest.raises(RuntimeError):
+        array.install(0x100)
+
+
+def test_victim_none_while_capacity_free():
+    array = make_array(sets=1, assoc=2)
+    array.install(0)
+    assert array.victim_for(64) is None
+
+
+def test_victim_is_lru():
+    array = make_array(sets=1, assoc=2)
+    array.install(0)
+    array.install(64)
+    array.lookup(0)                      # touch 0: now 64 is LRU
+    victim = array.victim_for(128)
+    assert victim.line == 64
+
+
+def test_pinned_lines_never_victims():
+    array = make_array(sets=1, assoc=2)
+    a = array.install(0)
+    b = array.install(64)
+    a.pin()
+    victim = array.victim_for(128)
+    assert victim is b
+
+
+def test_all_pinned_raises():
+    array = make_array(sets=1, assoc=2)
+    array.install(0).pin()
+    array.install(64).pin()
+    with pytest.raises(RuntimeError):
+        array.victim_for(128)
+
+
+def test_evict_pinned_rejected():
+    array = make_array()
+    entry = array.install(0x100)
+    entry.pin()
+    with pytest.raises(RuntimeError):
+        array.evict(0x100)
+
+
+def test_unpin_underflow():
+    array = make_array()
+    entry = array.install(0x100)
+    with pytest.raises(RuntimeError):
+        entry.unpin()
+
+
+def test_word_state_mask_roundtrip():
+    array = make_array()
+    entry = array.install(0x100)
+    entry.set_words(0b1010, St.O)
+    assert entry.words_in(St.O) == 0b1010
+    assert entry.words_in(St.I) == FULL_LINE_MASK & ~0b1010
+
+
+def test_data_read_write_masked():
+    array = make_array()
+    entry = array.install(0x100)
+    entry.write_data(0b11, {0: 7, 1: 9})
+    assert entry.read_data(0b11) == {0: 7, 1: 9}
+    # write only touches masked words with provided values
+    entry.write_data(0b100, {0: 99})
+    assert entry.data[0] == 7
+
+
+def test_sets_are_indexed_by_line():
+    array = make_array(sets=4, assoc=2)
+    # lines mapping to the same set: stride = sets * line size
+    for i in range(2):
+        array.install(0x1000 + i * 4 * 64)
+    assert array.victim_for(0x1000 + 2 * 4 * 64) is not None
+    # a different set still has room
+    assert array.victim_for(0x1040) is None
+
+
+def test_resident_count_and_iteration():
+    array = make_array()
+    for line in (0, 64, 128):
+        array.install(line)
+    assert array.resident_count() == 3
+    assert sorted(l.line for l in array.lines()) == [0, 64, 128]
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        CacheArray(1000, 3, St.I)

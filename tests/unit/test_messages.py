@@ -1,0 +1,92 @@
+"""Unit tests for the coherence message vocabulary."""
+
+from repro.coherence.addr import FULL_LINE_MASK
+from repro.coherence.messages import (CONTROL_BYTES, ADDR_BYTES, MASK_BYTES,
+                                      DEVICE_REQUESTS, Message, MsgKind,
+                                      RESPONSE_OF, TRAFFIC_CLASS, atomic_add,
+                                      atomic_cas, atomic_exch, atomic_max)
+
+
+def test_seven_device_request_types():
+    # Paper §III-A: exactly seven request types from a Spandex device.
+    assert len(DEVICE_REQUESTS) == 7
+    assert MsgKind.REQ_V in DEVICE_REQUESTS
+    assert MsgKind.REQ_WB in DEVICE_REQUESTS
+
+
+def test_every_request_has_a_response():
+    for kind in DEVICE_REQUESTS:
+        assert kind in RESPONSE_OF
+    assert RESPONSE_OF[MsgKind.RVK_O] == MsgKind.RSP_RVK_O
+    assert RESPONSE_OF[MsgKind.INV] == MsgKind.ACK
+
+
+def test_probe_traffic_class_covers_inv_and_rvko():
+    # Paper §V: "The Probe network message category represents Inv and
+    # RvkO messages."
+    for kind in (MsgKind.INV, MsgKind.ACK, MsgKind.RVK_O,
+                 MsgKind.RSP_RVK_O):
+        assert TRAFFIC_CLASS[kind] == "Probe"
+
+
+def test_every_kind_has_a_traffic_class():
+    for kind in MsgKind:
+        assert kind in TRAFFIC_CLASS, kind
+
+
+def test_message_size_control_only():
+    msg = Message(MsgKind.REQ_O, 0x100, FULL_LINE_MASK, "a", "b")
+    assert msg.size_bytes() == CONTROL_BYTES + ADDR_BYTES
+
+
+def test_message_size_partial_mask_adds_bitmask():
+    msg = Message(MsgKind.REQ_WT, 0x100, 0b101, "a", "b",
+                  data={0: 1, 2: 2})
+    assert msg.size_bytes() == CONTROL_BYTES + ADDR_BYTES + MASK_BYTES + 8
+
+
+def test_message_size_full_line_data():
+    data = {i: i for i in range(16)}
+    msg = Message(MsgKind.RSP_V, 0x100, FULL_LINE_MASK, "a", "b", data=data)
+    assert msg.size_bytes() == CONTROL_BYTES + ADDR_BYTES + 64
+
+
+def test_word_granularity_cheaper_than_line():
+    word = Message(MsgKind.REQ_WB, 0, 1, "a", "b", data={0: 7})
+    line = Message(MsgKind.REQ_WB, 0, FULL_LINE_MASK, "a", "b",
+                   data={i: 7 for i in range(16)})
+    assert word.size_bytes() < line.size_bytes()
+
+
+def test_req_ids_unique():
+    a = Message(MsgKind.REQ_V, 0, 1, "a", "b")
+    b = Message(MsgKind.REQ_V, 0, 1, "a", "b")
+    assert a.req_id != b.req_id
+
+
+def test_word_count_and_words():
+    msg = Message(MsgKind.REQ_O, 0, 0b1001, "a", "b")
+    assert msg.word_count() == 2
+    assert list(msg.words()) == [0, 3]
+
+
+def test_atomic_add():
+    op = atomic_add(5)
+    assert op.apply(10) == 15
+
+
+def test_atomic_max():
+    op = atomic_max(7)
+    assert op.apply(3) == 7
+    assert op.apply(11) == 11
+
+
+def test_atomic_exch():
+    op = atomic_exch(42)
+    assert op.apply(1) == 42
+
+
+def test_atomic_cas():
+    op = atomic_cas(expected=3, new=9)
+    assert op.apply(3) == 9
+    assert op.apply(4) == 4

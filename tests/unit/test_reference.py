@@ -1,0 +1,115 @@
+"""Unit tests for the DRF reference executor and race detector."""
+
+import pytest
+
+from repro.coherence.messages import atomic_add, atomic_max
+from repro.consistency.reference import (DataRace, ReferenceExecutor,
+                                         VectorClock, assert_drf)
+from repro.workloads.trace import Op
+
+
+def test_vector_clock_ordering():
+    a, b = VectorClock(2), VectorClock(2)
+    a.ticks = [1, 0]
+    b.ticks = [1, 1]
+    assert a.happens_before(b)
+    assert not b.happens_before(a)
+
+
+def test_vector_clock_join():
+    a, b = VectorClock(2), VectorClock(2)
+    a.ticks = [3, 0]
+    b.ticks = [1, 2]
+    a.join(b)
+    assert a.ticks == [3, 2]
+
+
+def test_sequential_thread_final_memory():
+    trace = [Op.store(0x100, 1), Op.store(0x100, 2), Op.load(0x100)]
+    result = ReferenceExecutor([trace]).run()
+    assert result.value(0x100) == 2
+    assert not result.races
+
+
+def test_unsynchronized_write_write_race_detected():
+    t0 = [Op.store(0x100, 1)]
+    t1 = [Op.store(0x100, 2)]
+    result = ReferenceExecutor([t0, t1]).run()
+    assert result.races
+    with pytest.raises(DataRace):
+        assert_drf([t0, t1])
+
+
+def test_unsynchronized_read_write_race_detected():
+    t0 = [Op.store(0x100, 1)]
+    t1 = [Op.load(0x100)]
+    result = ReferenceExecutor([t0, t1]).run()
+    assert result.races
+
+
+def test_flag_synchronization_is_race_free():
+    flag = 0x200
+    t0 = [Op.store(0x100, 1), Op.rmw(flag, atomic_add(1), release=True)]
+    t1 = [Op.spin_ge(flag, 1), Op.load(0x100)]
+    result = assert_drf([t0, t1])
+    assert result.value(0x100) == 1
+    assert flag in result.sync_addrs
+
+
+def test_release_fence_store_publication():
+    flag = 0x200
+    t0 = [Op.store(0x100, 7), Op.release_fence(), Op.store(flag, 1)]
+    t1 = [Op.spin_ge(flag, 1), Op.load(0x100)]
+    result = assert_drf([t0, t1])
+    assert result.value(0x100) == 7
+
+
+def test_atomics_are_never_races():
+    counter = 0x300
+    threads = [[Op.rmw(counter, atomic_add(1)) for _ in range(4)]
+               for _ in range(3)]
+    result = assert_drf(threads)
+    assert result.value(counter) == 12
+
+
+def test_atomic_max_applies():
+    cell = 0x400
+    threads = [[Op.rmw(cell, atomic_max(5))], [Op.rmw(cell, atomic_max(9))]]
+    result = assert_drf(threads)
+    assert result.value(cell) == 9
+
+
+def test_barrier_orders_phases():
+    barrier = 0x500
+    threads = []
+    for tid in range(3):
+        threads.append([
+            Op.store(0x600 + 4 * tid, tid + 1),
+            Op.rmw(barrier, atomic_add(1), release=True),
+            Op.spin_ge(barrier, 3),
+            Op.load(0x600 + 4 * ((tid + 1) % 3)),
+        ])
+    result = assert_drf(threads)
+    for tid in range(3):
+        assert result.value(0x600 + 4 * tid) == tid + 1
+
+
+def test_deadlock_detection():
+    t0 = [Op.spin_ge(0x100, 1)]      # nobody ever writes the flag
+    with pytest.raises(RuntimeError, match="deadlock"):
+        ReferenceExecutor([t0]).run()
+
+
+def test_transitive_happens_before():
+    f1, f2 = 0x200, 0x204
+    t0 = [Op.store(0x100, 5), Op.rmw(f1, atomic_add(1), release=True)]
+    t1 = [Op.spin_ge(f1, 1), Op.rmw(f2, atomic_add(1), release=True)]
+    t2 = [Op.spin_ge(f2, 1), Op.load(0x100)]
+    result = assert_drf([t0, t1, t2])
+    assert not result.races
+
+
+def test_compute_and_acquire_ops_are_neutral():
+    trace = [Op.compute(100), Op.acquire_fence(), Op.store(0x100, 1)]
+    result = ReferenceExecutor([trace]).run()
+    assert result.value(0x100) == 1

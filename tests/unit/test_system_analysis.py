@@ -1,0 +1,140 @@
+"""Unit tests for system configuration, builder and analysis layers."""
+
+import pytest
+
+from repro.analysis import (ConfigResult, ExperimentRunner,
+                            TRAFFIC_CLASSES, WorkloadResult,
+                            format_figure, format_traffic_stack,
+                            summarize_headline)
+from repro.system import (CONFIG_ORDER, CONFIGS, HIERARCHICAL_CONFIGS,
+                          SPANDEX_CONFIGS, build_system, scaled_config)
+from repro.workloads import make_reuse_o
+
+
+# -- config --------------------------------------------------------------------
+def test_config_partition():
+    assert set(CONFIG_ORDER) == set(HIERARCHICAL_CONFIGS) | \
+        set(SPANDEX_CONFIGS)
+    assert not set(HIERARCHICAL_CONFIGS) & set(SPANDEX_CONFIGS)
+
+
+def test_scaled_config_keeps_protocol_choices():
+    config = scaled_config("SDG", 2, 4)
+    assert config.num_cpus == 2 and config.num_gpus == 4
+    assert config.cpu_protocol == "DeNovo"
+    assert config.cpu_atomic_policy == "llc"
+    assert config.llc_size == CONFIGS["SDG"].llc_size
+
+
+def test_config_describe():
+    text = CONFIGS["HMG"].describe()
+    assert "H-MESI" in text and "GPU coherence" in text
+
+
+def test_configs_are_frozen():
+    with pytest.raises(Exception):
+        CONFIGS["HMG"].num_cpus = 3
+
+
+# -- builder -------------------------------------------------------------------
+def test_spandex_system_shape():
+    system = build_system(scaled_config("SMD", 2, 3))
+    assert len(system.cpus) == 2 and len(system.gpus) == 3
+    assert system.gpu_l2 is None
+    assert system.llc.__class__.__name__ == "SpandexLLC"
+    # every device registered its protocol family with the LLC
+    assert len(system.llc.device_protocols) == 5
+    assert system.llc.device_protocols["cpu0.l1"] == "MESI"
+    assert system.llc.device_protocols["gpu0.l1"] == "DeNovo"
+
+
+def test_hierarchical_system_shape():
+    system = build_system(scaled_config("HMD", 2, 2))
+    assert system.gpu_l2 is not None
+    assert system.llc.__class__.__name__ == "MESIDirectoryLLC"
+    assert system.gpu_l2.device_protocols["gpu1.l1"] == "DeNovo"
+
+
+def test_sdg_cpu_atomics_at_llc():
+    system = build_system(scaled_config("SDG", 1, 1))
+    assert system.cpu_l1s[0].atomic_policy == "llc"
+    system2 = build_system(scaled_config("SDD", 1, 1))
+    assert system2.cpu_l1s[0].atomic_policy == "own"
+
+
+def test_initial_memory_is_loaded():
+    from repro.workloads import Workload
+    from repro.workloads.trace import Op
+    workload = Workload("t", [[Op.load(0x2000)]], [[]],
+                        initial_memory={0x2000: 123})
+    system = build_system(scaled_config("SDD", 1, 1))
+    system.load_workload(workload)
+    assert system.dram.peek(0x2000)[0] == 123
+    system.run()
+    assert system.read_coherent(0x2000) == 123
+
+
+# -- analysis ------------------------------------------------------------------
+def fake_result(name, cycles_by_config, bytes_by_config=None):
+    results = {}
+    for config, cycles in cycles_by_config.items():
+        nbytes = (bytes_by_config or cycles_by_config)[config] * 100.0
+        results[config] = ConfigResult(
+            config=config, cycles=cycles, network_bytes=nbytes,
+            traffic={cls: nbytes / len(TRAFFIC_CLASSES)
+                     for cls in TRAFFIC_CLASSES})
+    return WorkloadResult(name, results)
+
+
+def test_normalization():
+    wr = fake_result("w", {"HMG": 100, "HMD": 110, "SMG": 80,
+                           "SMD": 70, "SDG": 90, "SDD": 60})
+    time = wr.normalized_time()
+    assert time["HMG"] == 1.0
+    assert time["SDD"] == pytest.approx(0.6)
+
+
+def test_hbest_sbest_selection():
+    wr = fake_result("w", {"HMG": 100, "HMD": 95, "SMG": 80,
+                           "SMD": 70, "SDG": 90, "SDD": 72})
+    assert wr.hbest() == "HMD"
+    assert wr.sbest() == "SMD"
+    reductions = wr.sbest_vs_hbest()
+    assert reductions["time_reduction"] == pytest.approx(1 - 70 / 95)
+
+
+def test_summarize_headline():
+    a = fake_result("a", {"HMG": 100, "HMD": 100, "SMG": 80,
+                          "SMD": 80, "SDG": 80, "SDD": 80})
+    b = fake_result("b", {"HMG": 100, "HMD": 100, "SMG": 60,
+                          "SMD": 60, "SDG": 60, "SDD": 60})
+    summary = summarize_headline([a, b])
+    assert summary["avg_time_reduction"] == pytest.approx(0.3)
+    assert summary["max_time_reduction"] == pytest.approx(0.4)
+
+
+def test_format_figure_renders_all_rows():
+    wr = fake_result("w", {c: 100 for c in CONFIG_ORDER})
+    text = format_figure([wr], "title")
+    assert "title" in text and "w" in text
+    for config in CONFIG_ORDER:
+        assert config in text
+
+
+def test_format_traffic_stack_covers_classes():
+    wr = fake_result("w", {c: 100 for c in CONFIG_ORDER})
+    text = format_traffic_stack(wr)
+    for cls in TRAFFIC_CLASSES:
+        assert cls in text
+
+
+def test_experiment_runner_end_to_end_small():
+    runner = ExperimentRunner(num_cpus=1, num_gpus=1, warps_per_cu=1,
+                              configs=("SDD",))
+    result = runner.run("ReuseO", make_reuse_o, tile_lines=2,
+                        iterations=2, sparse_reads=1)
+    config_result = result.results["SDD"]
+    assert config_result.cycles > 0
+    assert config_result.memory_ok is True
+    assert sum(config_result.traffic.values()) == pytest.approx(
+        config_result.network_bytes)
