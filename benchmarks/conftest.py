@@ -8,6 +8,9 @@ experiment scale is controlled by ``REPRO_BENCH_SCALE``:
 * ``paper`` — 8 CPU cores, 16 CUs x 2 warps, closer to Table VI's
   device counts (slower).
 
+``REPRO_BENCH_JOBS`` sets how many worker processes each experiment
+grid fans out across (default 1, serial).
+
 Results are cached per session (figures feed the headline benchmark)
 and dumped as JSON under ``results/`` for EXPERIMENTS.md.
 """
@@ -41,8 +44,10 @@ class ExperimentCache:
 
     def __init__(self):
         self._cache = {}
+        jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
         self.runner = ExperimentRunner(**bench_scale(),
-                                       validate_memory=True)
+                                       validate_memory=True,
+                                       jobs=jobs)
 
     def get(self, name, generator, **extra) -> WorkloadResult:
         if name not in self._cache:

@@ -11,9 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Optional, Sequence
 
-from ..system.builder import build_system
 from ..system.config import (CONFIG_ORDER, HIERARCHICAL_CONFIGS,
-                             SPANDEX_CONFIGS, scaled_config)
+                             SPANDEX_CONFIGS)
 from ..workloads.base import Workload
 
 #: traffic classes in the order the paper's figure legends use
@@ -74,19 +73,31 @@ class WorkloadResult:
 
 
 class ExperimentRunner:
-    """Run one workload generator across configurations."""
+    """Run one workload generator across configurations.
+
+    Built on :mod:`repro.analysis.sweep`: each configuration is an
+    independent sweep cell, so the grid can fan out across processes
+    (``jobs``) and reuse an on-disk result cache (``cache``).  Every
+    cell regenerates the workload from (name, kwargs) rather than
+    sharing one Workload object, so per-config runs are independent.
+    """
 
     def __init__(self, num_cpus: int = 4, num_gpus: int = 4,
                  warps_per_cu: int = 2,
                  configs: Sequence[str] = CONFIG_ORDER,
                  validate_memory: bool = True,
-                 max_events: int = 60_000_000):
+                 max_events: int = 60_000_000,
+                 jobs: int = 1, cache=None):
         self.num_cpus = num_cpus
         self.num_gpus = num_gpus
         self.warps_per_cu = warps_per_cu
         self.configs = list(configs)
         self.validate_memory = validate_memory
         self.max_events = max_events
+        self.jobs = jobs
+        self.cache = cache
+        #: SweepSummary of the most recent :meth:`run` (observability)
+        self.last_sweep = None
 
     def workload_kwargs(self) -> Dict[str, int]:
         return dict(num_cpus=self.num_cpus, num_gpus=self.num_gpus,
@@ -95,28 +106,18 @@ class ExperimentRunner:
     def run(self, name: str,
             generator: Callable[..., Workload],
             **extra) -> WorkloadResult:
+        from .sweep import CellSpec, run_sweep
         kwargs = self.workload_kwargs()
         kwargs.update(extra)
-        workload = generator(**kwargs)
-        reference = workload.reference() if self.validate_memory else None
-        results: Dict[str, ConfigResult] = {}
-        for config_name in self.configs:
-            system = build_system(scaled_config(
-                config_name, self.num_cpus, self.num_gpus))
-            system.load_workload(workload)
-            run = system.run(max_events=self.max_events)
-            memory_ok = None
-            if reference is not None:
-                memory_ok = all(
-                    system.read_coherent(addr) == value
-                    for addr, value in reference.memory.items())
-            results[config_name] = ConfigResult(
-                config=config_name, cycles=run.cycles,
-                network_bytes=run.network_bytes,
-                traffic=run.traffic_by_class(),
-                counters=dict(run.stats.counters()),
-                memory_ok=memory_ok)
-        return WorkloadResult(name, results)
+        specs = [CellSpec.make(name, config_name, kwargs,
+                               generator=generator)
+                 for config_name in self.configs]
+        summary = run_sweep(specs, jobs=self.jobs, cache=self.cache,
+                            validate_memory=self.validate_memory,
+                            max_events=self.max_events)
+        self.last_sweep = summary
+        (result,) = summary.workload_results()
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -124,33 +125,66 @@ class ExperimentRunner:
 # ---------------------------------------------------------------------------
 def format_figure(results: Iterable[WorkloadResult],
                   title: str, base: str = "HMG") -> str:
-    """Paper-figure-style table: normalized time and traffic rows."""
+    """Paper-figure-style table: normalized time and traffic rows.
+
+    Degenerate inputs render as messages rather than crashing: an
+    empty result list, a missing base configuration, or a base run
+    with zero cycles/bytes (nothing to normalize against).
+    """
     results = list(results)
+    if not results:
+        return f"== {title}: no results =="
     configs = list(results[0].results)
     lines = [f"== {title} (normalized to {base}) ==",
              f"{'workload':<14}" + "".join(f"{c:>14}" for c in configs)]
     lines.append(f"{'':14}" + "".join(f"{'time/traffic':>14}"
                                       for _ in configs))
+    reductions = []
     for wr in results:
+        base_result = wr.results.get(base)
+        if base_result is None or base_result.cycles == 0 or \
+                base_result.network_bytes == 0:
+            reason = ("not run" if base_result is None
+                      else "zero cycles/bytes")
+            lines.append(f"{wr.workload:<14}  "
+                         f"(no {base} baseline: {reason})")
+            continue
         times = wr.normalized_time(base)
         traffic = wr.normalized_traffic(base)
         cells = "".join(f"{times[c]:>7.2f}/{traffic[c]:<6.2f}"
                         for c in configs)
         lines.append(f"{wr.workload:<14}{cells}")
-    reductions = [wr.sbest_vs_hbest() for wr in results]
-    avg_t = sum(r["time_reduction"] for r in reductions) / len(reductions)
-    avg_b = sum(r["traffic_reduction"] for r in reductions) / len(reductions)
-    max_t = max(r["time_reduction"] for r in reductions)
-    max_b = max(r["traffic_reduction"] for r in reductions)
-    lines.append(f"Sbest vs Hbest: execution time -{avg_t:.0%} "
-                 f"(max -{max_t:.0%}), network traffic -{avg_b:.0%} "
-                 f"(max -{max_b:.0%})")
+        try:
+            reductions.append(wr.sbest_vs_hbest())
+        except (ValueError, ZeroDivisionError):
+            pass        # a family missing or Hbest ran in zero cycles
+    if reductions:
+        avg_t = sum(r["time_reduction"]
+                    for r in reductions) / len(reductions)
+        avg_b = sum(r["traffic_reduction"]
+                    for r in reductions) / len(reductions)
+        max_t = max(r["time_reduction"] for r in reductions)
+        max_b = max(r["traffic_reduction"] for r in reductions)
+        lines.append(f"Sbest vs Hbest: execution time -{avg_t:.0%} "
+                     f"(max -{max_t:.0%}), network traffic -{avg_b:.0%} "
+                     f"(max -{max_b:.0%})")
+    else:
+        lines.append("Sbest vs Hbest: not computable "
+                     "(no workload with a usable baseline)")
     return "\n".join(lines)
 
 
 def format_traffic_stack(result: WorkloadResult, base: str = "HMG") -> str:
     """Per-class traffic breakdown (the stacked bars of Figs 2/3)."""
-    base_total = result.results[base].network_bytes
+    base_result = result.results.get(base)
+    if base_result is None:
+        return (f"-- {result.workload}: traffic by request class --\n"
+                f"   (base configuration {base} was not run)")
+    base_total = base_result.network_bytes
+    if base_total == 0:
+        return (f"-- {result.workload}: traffic by request class --\n"
+                f"   (base configuration {base} moved zero bytes; "
+                "nothing to normalize against)")
     lines = [f"-- {result.workload}: traffic by request class "
              f"(fraction of {base} total) --"]
     header = f"{'class':<12}" + "".join(
@@ -172,6 +206,10 @@ def format_traffic_stack(result: WorkloadResult, base: str = "HMG") -> str:
 def summarize_headline(app_results: Iterable[WorkloadResult]) -> Dict[str, float]:
     """Aggregate Sbest-vs-Hbest reductions (paper abstract numbers)."""
     reductions = [wr.sbest_vs_hbest() for wr in app_results]
+    if not reductions:
+        return {"avg_time_reduction": 0.0, "max_time_reduction": 0.0,
+                "avg_traffic_reduction": 0.0,
+                "max_traffic_reduction": 0.0}
     return {
         "avg_time_reduction":
             sum(r["time_reduction"] for r in reductions) / len(reductions),

@@ -1,0 +1,448 @@
+"""Parallel, cached experiment sweeps.
+
+Every paper artifact (Figures 2-3, the Sbest-vs-Hbest headline) is a
+grid of independent (workload, configuration) simulations.  This module
+fans those cells out across CPU cores with a process pool and memoizes
+finished cells in an on-disk JSON cache, so regenerating a figure after
+touching one workload only re-simulates the changed column.
+
+Two constraints shape the design:
+
+* ``Op.spin_until`` holds lambdas, so :class:`Workload` objects are not
+  picklable.  Workers therefore receive a :class:`CellSpec` — workload
+  *name*, generator kwargs, configuration name — and regenerate the
+  trace locally.  Generators are deterministic (seeded ``random.Random``
+  plus a fixed-base :class:`AddressSpace`), so a regenerated workload is
+  op-for-op identical, and every cell runs on a fresh trace instead of
+  a shared mutable object.
+* :class:`~repro.sim.stats.StatsRegistry` is not picklable either (its
+  grouped counters are a lambda-backed defaultdict), so workers return
+  plain ``snapshot()`` dicts and the parent rebuilds registries with
+  ``StatsRegistry.from_snapshot`` before folding them together.
+
+Cache entries are keyed by a content hash of (workload name, generator
+kwargs, the full scaled configuration parameters, run options, and a
+fingerprint of the simulator's own source), so any code change
+invalidates the whole cache rather than serving stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
+
+from ..sim.stats import StatsRegistry
+from ..system.config import scaled_config
+from ..workloads import APPLICATIONS, MICROBENCHMARKS
+from .report import ConfigResult, WorkloadResult
+
+#: every generator reachable by name from a worker process
+WORKLOAD_REGISTRY: Dict[str, Callable] = {}
+WORKLOAD_REGISTRY.update(MICROBENCHMARKS)
+WORKLOAD_REGISTRY.update(APPLICATIONS)
+
+#: sweep cache location override (also the ``--cache-dir`` CLI flag)
+CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
+
+DEFAULT_MAX_EVENTS = 60_000_000
+
+
+class SweepError(RuntimeError):
+    """A sweep cell could not be described or executed."""
+
+
+# ---------------------------------------------------------------------------
+# cell specification
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellSpec:
+    """One (workload, configuration) grid cell, in picklable form.
+
+    ``kwargs`` is a sorted tuple of (name, value) pairs so the spec is
+    hashable and its JSON form is canonical.  ``generator_ref`` (a
+    ``module:qualname`` string) lets non-registry generators ride
+    through the pool; registry workloads resolve by name alone.
+    """
+
+    workload: str
+    config: str
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+    generator_ref: Optional[str] = None
+
+    @classmethod
+    def make(cls, workload: str, config: str,
+             kwargs: Optional[Mapping[str, object]] = None,
+             generator: Optional[Callable] = None) -> "CellSpec":
+        ref = None
+        if generator is not None and \
+                WORKLOAD_REGISTRY.get(workload) is not generator:
+            ref = f"{generator.__module__}:{generator.__qualname__}"
+        return cls(workload=workload, config=config,
+                   kwargs=tuple(sorted((kwargs or {}).items())),
+                   generator_ref=ref)
+
+    def kwargs_dict(self) -> Dict[str, object]:
+        return dict(self.kwargs)
+
+    def resolve_generator(self) -> Callable:
+        if self.generator_ref is not None:
+            module_name, _, qualname = self.generator_ref.partition(":")
+            obj = importlib.import_module(module_name)
+            for part in qualname.split("."):
+                obj = getattr(obj, part)
+            return obj
+        try:
+            return WORKLOAD_REGISTRY[self.workload]
+        except KeyError:
+            raise SweepError(
+                f"unknown workload {self.workload!r} and no "
+                "generator_ref to import") from None
+
+    def system_config(self):
+        kwargs = self.kwargs_dict()
+        return scaled_config(self.config,
+                             int(kwargs.get("num_cpus", 4)),
+                             int(kwargs.get("num_gpus", 4)))
+
+
+def grid_specs(workloads: Iterable[str], configs: Iterable[str],
+               kwargs: Optional[Mapping[str, object]] = None
+               ) -> List[CellSpec]:
+    """The full cross product, workload-major (figure order)."""
+    return [CellSpec.make(w, c, kwargs)
+            for w in workloads for c in configs]
+
+
+# ---------------------------------------------------------------------------
+# cache keys
+# ---------------------------------------------------------------------------
+_code_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every source file in the ``repro`` package.
+
+    Baked into cache keys so editing the simulator (or a workload
+    generator) invalidates previous results instead of serving them.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(source.read_bytes())
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def cell_key(spec: CellSpec, validate_memory: bool = True,
+             max_events: int = DEFAULT_MAX_EVENTS) -> str:
+    """Content hash identifying one cell's result."""
+    payload = {
+        "workload": spec.workload,
+        "kwargs": spec.kwargs_dict(),
+        "generator_ref": spec.generator_ref,
+        "config": asdict(spec.system_config()),
+        "validate_memory": bool(validate_memory),
+        "max_events": int(max_events),
+        "code": code_fingerprint(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# the worker
+# ---------------------------------------------------------------------------
+def simulate_cell(spec: CellSpec, validate_memory: bool = True,
+                  max_events: int = DEFAULT_MAX_EVENTS
+                  ) -> Dict[str, object]:
+    """Regenerate the workload and simulate one cell.
+
+    Top-level so process pools can pickle it by reference.  Returns a
+    JSON-safe dict (the cache's on-disk format).
+    """
+    started = time.perf_counter()
+    workload = spec.resolve_generator()(**spec.kwargs_dict())
+    reference = workload.reference() if validate_memory else None
+
+    from ..system.builder import build_system
+    system = build_system(spec.system_config())
+    system.load_workload(workload)
+    run = system.run(max_events=max_events)
+
+    memory_ok = None
+    if reference is not None:
+        memory_ok = all(system.read_coherent(addr) == value
+                        for addr, value in reference.memory.items())
+    return {
+        "workload": spec.workload,
+        "config": spec.config,
+        "cycles": run.cycles,
+        "network_bytes": run.network_bytes,
+        "traffic": run.traffic_by_class(),
+        "stats": run.stats.snapshot(),
+        "memory_ok": memory_ok,
+        "wall_time": time.perf_counter() - started,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the on-disk cache
+# ---------------------------------------------------------------------------
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweep"
+
+
+class ResultCache:
+    """One JSON file per finished cell, named by its content hash."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: Mapping[str, object]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cached cell; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+@dataclass
+class CellResult:
+    """One finished cell plus provenance (cache hit? wall time?)."""
+
+    spec: CellSpec
+    key: str
+    payload: Dict[str, object]
+    from_cache: bool = False
+
+    @property
+    def workload(self) -> str:
+        return self.spec.workload
+
+    @property
+    def config(self) -> str:
+        return self.spec.config
+
+    @property
+    def cycles(self) -> int:
+        return int(self.payload["cycles"])
+
+    @property
+    def network_bytes(self) -> float:
+        return float(self.payload["network_bytes"])
+
+    @property
+    def wall_time(self) -> float:
+        return float(self.payload.get("wall_time", 0.0))
+
+    @property
+    def memory_ok(self) -> Optional[bool]:
+        return self.payload.get("memory_ok")
+
+    def stats(self) -> StatsRegistry:
+        return StatsRegistry.from_snapshot(self.payload.get("stats", {}))
+
+    def config_result(self) -> ConfigResult:
+        counters = dict(self.payload.get("stats", {}).get("counters", {}))
+        return ConfigResult(
+            config=self.config, cycles=self.cycles,
+            network_bytes=self.network_bytes,
+            traffic=dict(self.payload.get("traffic", {})),
+            counters=counters, memory_ok=self.memory_ok)
+
+
+@dataclass
+class SweepSummary:
+    """All cells of one sweep plus the observability counters."""
+
+    cells: List[CellResult] = field(default_factory=list)
+    jobs: int = 1
+    wall_time: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for cell in self.cells if cell.from_cache)
+
+    @property
+    def simulated(self) -> int:
+        return sum(1 for cell in self.cells if not cell.from_cache)
+
+    @property
+    def sim_time(self) -> float:
+        """Summed per-cell simulation wall time (what a serial, uncached
+        run would have cost); compare against ``wall_time`` for speedup."""
+        return sum(cell.wall_time for cell in self.cells)
+
+    def workload_results(self) -> List[WorkloadResult]:
+        """Group cells into per-workload results, preserving cell order."""
+        grouped: Dict[str, Dict[str, ConfigResult]] = {}
+        for cell in self.cells:
+            grouped.setdefault(cell.workload, {})[cell.config] = \
+                cell.config_result()
+        return [WorkloadResult(name, results)
+                for name, results in grouped.items()]
+
+    def merged_stats(self) -> StatsRegistry:
+        """Every cell's counters folded into one registry (per-cell
+        counters stay available via ``CellResult.stats``)."""
+        merged = StatsRegistry()
+        for cell in self.cells:
+            merged.merge(cell.stats())
+        return merged
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "cells": len(self.cells),
+            "cache_hits": self.cache_hits,
+            "simulated": self.simulated,
+            "wall_time": self.wall_time,
+            "sim_time": self.sim_time,
+            "results": [
+                {
+                    "workload": cell.workload,
+                    "config": cell.config,
+                    "cycles": cell.cycles,
+                    "network_bytes": cell.network_bytes,
+                    "traffic": dict(cell.payload.get("traffic", {})),
+                    "memory_ok": cell.memory_ok,
+                    "wall_time": cell.wall_time,
+                    "from_cache": cell.from_cache,
+                    "key": cell.key,
+                }
+                for cell in self.cells
+            ],
+        }
+
+    def format_summary(self) -> str:
+        """Per-cell wall-time table plus the hit/miss and speedup roll-up."""
+        lines = [f"== sweep: {len(self.cells)} cells, {self.jobs} job(s) ==",
+                 f"{'workload':<14}{'config':<8}{'cycles':>12}"
+                 f"{'bytes':>14}{'wall':>9}  source"]
+        for cell in self.cells:
+            source = "cache" if cell.from_cache else "simulated"
+            lines.append(
+                f"{cell.workload:<14}{cell.config:<8}{cell.cycles:>12,}"
+                f"{cell.network_bytes:>14,.0f}"
+                f"{cell.wall_time:>8.2f}s  {source}")
+        lines.append(
+            f"cells: {len(self.cells)}  cache hits: {self.cache_hits}  "
+            f"simulated: {self.simulated}")
+        line = (f"wall time: {self.wall_time:.2f}s "
+                f"(summed cell time {self.sim_time:.2f}s")
+        if self.wall_time > 0:
+            line += f", {self.sim_time / self.wall_time:.1f}x speedup"
+        lines.append(line + ")")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+def run_sweep(specs: Sequence[CellSpec], jobs: int = 1,
+              cache: Optional[ResultCache] = None,
+              validate_memory: bool = True,
+              max_events: int = DEFAULT_MAX_EVENTS,
+              progress: Optional[Callable[[CellResult], None]] = None
+              ) -> SweepSummary:
+    """Run every cell, in parallel when ``jobs > 1``, reusing ``cache``.
+
+    Cache lookups and stores both happen in the parent, so workers stay
+    read-only and a crashed worker can never poison the cache.  Results
+    come back in spec order regardless of completion order.
+    """
+    started = time.perf_counter()
+    results: List[Optional[CellResult]] = [None] * len(specs)
+    misses: List[Tuple[int, CellSpec, str]] = []
+    for index, spec in enumerate(specs):
+        key = cell_key(spec, validate_memory, max_events)
+        payload = cache.get(key) if cache is not None else None
+        if payload is not None:
+            cell = CellResult(spec, key, payload, from_cache=True)
+            results[index] = cell
+            if progress is not None:
+                progress(cell)
+        else:
+            misses.append((index, spec, key))
+
+    def finish(index: int, spec: CellSpec, key: str,
+               payload: Dict[str, object]) -> None:
+        if cache is not None:
+            cache.put(key, payload)
+        cell = CellResult(spec, key, payload, from_cache=False)
+        results[index] = cell
+        if progress is not None:
+            progress(cell)
+
+    if misses and jobs > 1:
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, len(misses))) as pool:
+            futures = {
+                pool.submit(simulate_cell, spec, validate_memory,
+                            max_events): (index, spec, key)
+                for index, spec, key in misses}
+            for future in as_completed(futures):
+                index, spec, key = futures[future]
+                finish(index, spec, key, future.result())
+    else:
+        for index, spec, key in misses:
+            finish(index, spec, key,
+                   simulate_cell(spec, validate_memory, max_events))
+
+    return SweepSummary(cells=[cell for cell in results
+                               if cell is not None],
+                        jobs=jobs,
+                        wall_time=time.perf_counter() - started)

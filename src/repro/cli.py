@@ -6,17 +6,25 @@ Commands:
 * ``run`` — run one workload on one (or every) configuration, with
   optional memory validation and runtime invariant auditing;
 * ``figure2`` / ``figure3`` — regenerate the paper's figures;
-* ``headline`` — the paper's Sbest-vs-Hbest summary numbers.
+* ``headline`` — the paper's Sbest-vs-Hbest summary numbers;
+* ``sweep`` — run a (workload x configuration) grid across worker
+  processes with an on-disk result cache.
+
+``figure2``/``figure3``/``headline`` are sweeps too: they accept
+``--jobs`` and reuse the same cache, so regenerating a figure after a
+partial change only re-simulates the affected cells.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from .analysis import (ExperimentRunner, InvariantChecker, format_figure,
-                       format_traffic_stack, summarize_headline)
+from .analysis import (InvariantChecker, ResultCache, format_figure,
+                       format_traffic_stack, grid_specs, run_sweep,
+                       summarize_headline)
 from .system import CONFIG_ORDER, CONFIGS, build_system, scaled_config
 from .workloads import (APPLICATIONS, MICROBENCHMARKS, load_workload,
                         save_workload)
@@ -57,12 +65,34 @@ def _build_parser() -> argparse.ArgumentParser:
         fig.add_argument("--cpus", type=int, default=4)
         fig.add_argument("--gpus", type=int, default=4)
         fig.add_argument("--warps", type=int, default=2)
+        _add_sweep_options(fig)
 
     head = sub.add_parser("headline",
                           help="Sbest-vs-Hbest summary (paper abstract)")
     head.add_argument("--cpus", type=int, default=4)
     head.add_argument("--gpus", type=int, default=4)
     head.add_argument("--warps", type=int, default=2)
+    _add_sweep_options(head)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a (workload x config) grid in parallel with caching")
+    sweep.add_argument("workloads", nargs="*",
+                       help="workload names (default: every workload)")
+    sweep.add_argument("--configs", default="all",
+                       help="comma-separated configuration names "
+                            "(default: all six)")
+    sweep.add_argument("--cpus", type=int, default=4)
+    sweep.add_argument("--gpus", type=int, default=4)
+    sweep.add_argument("--warps", type=int, default=2)
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the full sweep summary as JSON")
+    sweep.add_argument("--clear-cache", action="store_true",
+                       help="delete every cached cell and exit")
+    sweep.add_argument("--no-check", action="store_true",
+                       help="skip final-memory validation against the "
+                            "DRF reference executor")
+    _add_sweep_options(sweep)
 
     save = sub.add_parser("save", help="serialize a workload's traces")
     save.add_argument("workload", choices=sorted(ALL_WORKLOADS))
@@ -79,6 +109,25 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent cells "
+                             "(default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the on-disk "
+                             "result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache location (default: "
+                             "$REPRO_SWEEP_CACHE or "
+                             "~/.cache/repro/sweep)")
+
+
+def _sweep_cache(args) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
+
+
 def _cmd_list() -> int:
     print("workloads:")
     for name, generator in sorted(ALL_WORKLOADS.items()):
@@ -91,8 +140,15 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
-    workload = ALL_WORKLOADS[args.workload](
-        num_cpus=args.cpus, num_gpus=args.gpus, warps_per_cu=args.warps)
+    def fresh_workload():
+        # Each configuration gets its own Workload: generators are
+        # deterministic, and sharing one object would let a run observe
+        # state left behind by the previous configuration's system.
+        return ALL_WORKLOADS[args.workload](
+            num_cpus=args.cpus, num_gpus=args.gpus,
+            warps_per_cu=args.warps)
+
+    workload = fresh_workload()
     reference = workload.reference() if args.check else None
     configs = (list(CONFIG_ORDER) if args.config == "all"
                else [args.config])
@@ -100,6 +156,7 @@ def _cmd_run(args) -> int:
           f"({args.cpus} CPUs, {args.gpus} CUs x {args.warps} warps)")
     failures = 0
     for config_name in configs:
+        workload = fresh_workload()
         system = build_system(scaled_config(config_name, args.cpus,
                                             args.gpus))
         system.load_workload(workload)
@@ -136,24 +193,34 @@ def _cmd_run(args) -> int:
     return 1 if failures else 0
 
 
+def _run_grid(args, workload_names) -> "SweepSummary":
+    """Sweep the full (workload x config) grid for a figure command.
+
+    Sweeping the whole grid at once (rather than per workload) gives
+    the pool ``len(workloads) * len(configs)`` independent cells, so
+    ``--jobs`` scales past the six configurations.
+    """
+    specs = grid_specs(workload_names, CONFIG_ORDER,
+                       dict(num_cpus=args.cpus, num_gpus=args.gpus,
+                            warps_per_cu=args.warps))
+    return run_sweep(specs, jobs=args.jobs, cache=_sweep_cache(args))
+
+
 def _cmd_figure(args, workloads, title) -> int:
-    runner = ExperimentRunner(num_cpus=args.cpus, num_gpus=args.gpus,
-                              warps_per_cu=args.warps)
-    results = [runner.run(name, generator)
-               for name, generator in workloads.items()]
+    summary = _run_grid(args, list(workloads))
+    results = summary.workload_results()
     print(format_figure(results, title))
     for result in results:
         print()
         print(format_traffic_stack(result))
+    print()
+    print(summary.format_summary())
     return 0
 
 
 def _cmd_headline(args) -> int:
-    runner = ExperimentRunner(num_cpus=args.cpus, num_gpus=args.gpus,
-                              warps_per_cu=args.warps)
-    apps = [runner.run(name, generator)
-            for name, generator in APPLICATIONS.items()]
-    summary = summarize_headline(apps)
+    sweep = _run_grid(args, list(APPLICATIONS))
+    summary = summarize_headline(sweep.workload_results())
     print("Sbest vs Hbest across the applications:")
     print(f"  execution time:  -{summary['avg_time_reduction']:.0%} "
           f"(max -{summary['max_time_reduction']:.0%})   "
@@ -161,7 +228,49 @@ def _cmd_headline(args) -> int:
     print(f"  network traffic: -{summary['avg_traffic_reduction']:.0%} "
           f"(max -{summary['max_traffic_reduction']:.0%})   "
           "[paper: -27%, max -58%]")
+    print()
+    print(sweep.format_summary())
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.clear_cache:
+        cache = ResultCache(args.cache_dir)
+        removed = cache.clear()
+        print(f"cleared {removed} cached cell(s) from {cache.root}")
+        return 0
+    names = args.workloads or sorted(ALL_WORKLOADS)
+    unknown = [name for name in names if name not in ALL_WORKLOADS]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)} "
+              f"(try: {', '.join(sorted(ALL_WORKLOADS))})",
+              file=sys.stderr)
+        return 2
+    configs = (list(CONFIG_ORDER) if args.configs == "all"
+               else [c.strip() for c in args.configs.split(",")
+                     if c.strip()])
+    bad = [c for c in configs if c not in CONFIG_ORDER]
+    if bad:
+        print(f"unknown config(s): {', '.join(bad)} "
+              f"(try: {', '.join(CONFIG_ORDER)})", file=sys.stderr)
+        return 2
+    specs = grid_specs(names, configs,
+                       dict(num_cpus=args.cpus, num_gpus=args.gpus,
+                            warps_per_cu=args.warps))
+    summary = run_sweep(specs, jobs=args.jobs, cache=_sweep_cache(args),
+                        validate_memory=not args.no_check)
+    if args.json:
+        json.dump(summary.to_json(), sys.stdout, indent=1,
+                  sort_keys=True)
+        print()
+    else:
+        print(summary.format_summary())
+    bad_cells = [cell for cell in summary.cells
+                 if cell.memory_ok is False]
+    for cell in bad_cells:
+        print(f"memory validation FAILED: {cell.workload} on "
+              f"{cell.config}", file=sys.stderr)
+    return 1 if bad_cells else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -177,6 +286,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args, APPLICATIONS, "Figure 3: applications")
     if args.command == "headline":
         return _cmd_headline(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "save":
         workload = ALL_WORKLOADS[args.workload](
             num_cpus=args.cpus, num_gpus=args.gpus,

@@ -98,6 +98,11 @@ class Engine:
         ``until`` bounds simulated time; ``max_events`` bounds executed
         events (a watchdog against protocol livelock).  Returns the
         simulation time when the run stopped.
+
+        When ``until`` is given, time always advances to ``until`` even
+        if the queue drains earlier, so a caller that resumes the engine
+        later observes the quiescent interval as elapsed time rather
+        than scheduling "future" work in the past.
         """
         if self._running:
             raise SimulationError("Engine.run is not reentrant")
@@ -110,7 +115,6 @@ class Engine:
                 if until is not None and event.time > until:
                     # Put it back: the caller may resume later.
                     heapq.heappush(self._heap, event)
-                    self._now = until
                     break
                 self._now = event.time
                 event.callback()
@@ -119,6 +123,8 @@ class Engine:
                     raise SimulationError(
                         f"event budget exhausted ({max_events}); "
                         "possible protocol livelock")
+            if until is not None and self._now < until:
+                self._now = until
         finally:
             self._running = False
         return self._now

@@ -9,7 +9,7 @@ registry, so a system-wide report is a single object.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 
 class StatsRegistry:
@@ -62,6 +62,22 @@ class StatsRegistry:
             "groups": {g: dict(k) for g, k in self._groups.items()},
         }
 
+    @classmethod
+    def from_snapshot(cls, payload: Mapping[str, object]) -> "StatsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output.
+
+        The registry itself is not picklable (its grouped counters use
+        a lambda-backed defaultdict), so worker processes ship snapshots
+        and the parent rebuilds them here before :meth:`merge`-ing.
+        """
+        registry = cls()
+        for name, value in payload.get("counters", {}).items():
+            registry._counters[name] = float(value)
+        for group, keys in payload.get("groups", {}).items():
+            for key, value in keys.items():
+                registry._groups[group][key] = float(value)
+        return registry
+
     def format_table(self, title: str = "stats") -> str:
         """Human-readable dump, sorted for stable output."""
         lines = [f"== {title} =="]
@@ -109,3 +125,30 @@ class LatencySampler:
 
     def labels(self) -> Iterable[str]:
         return list(self._data)
+
+    def merge(self, other: "LatencySampler") -> None:
+        """Fold another sampler's streams into this one."""
+        for label, (count, total, lo, hi) in other._data.items():
+            if label in self._data:
+                mine = self._data[label]
+                self._data[label] = (mine[0] + count, mine[1] + total,
+                                     min(mine[2], lo), max(mine[3], hi))
+            else:
+                self._data[label] = (count, total, lo, hi)
+
+    def snapshot(self) -> Dict[str, Tuple[int, float, float, float]]:
+        """Plain-dict copy of the per-label (count, sum, min, max)."""
+        return {label: tuple(entry)
+                for label, entry in self._data.items()}
+
+    @classmethod
+    def from_snapshot(cls, payload: Mapping[str, Sequence[float]]
+                      ) -> "LatencySampler":
+        """Rebuild a sampler from :meth:`snapshot` output (JSON lists
+        are accepted, so snapshots survive a JSON round-trip)."""
+        sampler = cls()
+        for label, entry in payload.items():
+            count, total, lo, hi = entry
+            sampler._data[label] = (int(count), float(total),
+                                    float(lo), float(hi))
+        return sampler

@@ -1,8 +1,19 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+import re
+
 import pytest
 
 from repro.cli import main
+
+SMALL = ["--cpus", "2", "--gpus", "2", "--warps", "1"]
+
+
+@pytest.fixture(autouse=True)
+def isolated_sweep_cache(tmp_path, monkeypatch):
+    """Keep sweep-backed commands away from the user's real cache."""
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "sweep-cache"))
 
 
 def test_list(capsys):
@@ -48,6 +59,84 @@ def test_headline(capsys):
     assert "Sbest vs Hbest" in out and "paper" in out
 
 
+def _cycles_by_config(out):
+    """Parse '  SDD:  1,234 cycles ...' lines from `run` output."""
+    return {m.group(1): int(m.group(2).replace(",", ""))
+            for m in re.finditer(r"^  (\w+): +([\d,]+) cycles",
+                                 out, re.MULTILINE)}
+
+
+def test_run_all_configs_matches_fresh_single_runs(capsys):
+    # Regression: `--config all` used to reuse one mutable Workload
+    # object across per-config systems; every config must now match a
+    # run that starts from a freshly generated workload.
+    assert main(["run", "TQH", "--config", "all"] + SMALL) == 0
+    all_cycles = _cycles_by_config(capsys.readouterr().out)
+    for config in ("HMD", "SDD"):    # one hierarchical, one Spandex
+        assert main(["run", "TQH", "--config", config] + SMALL) == 0
+        fresh = _cycles_by_config(capsys.readouterr().out)
+        assert all_cycles[config] == fresh[config]
+
+
+def test_sweep_cold_then_warm_cache(capsys):
+    argv = ["sweep", "ReuseS", "--configs", "SDD,HMG"] + SMALL
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "cache hits: 0" in cold and "simulated: 2" in cold
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "cache hits: 2" in warm and "simulated: 0" in warm
+
+
+def test_sweep_parallel_jobs_match_serial(capsys):
+    assert main(["sweep", "ReuseS", "--configs", "SDD,HMG",
+                 "--no-cache", "--json"] + SMALL) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(["sweep", "ReuseS", "--configs", "SDD,HMG",
+                 "--no-cache", "--json", "--jobs", "2"] + SMALL) == 0
+    parallel = json.loads(capsys.readouterr().out)
+    assert serial["cells"] == parallel["cells"] == 2
+    for a, b in zip(serial["results"], parallel["results"]):
+        assert a["cycles"] == b["cycles"]
+        assert a["network_bytes"] == b["network_bytes"]
+        assert a["traffic"] == b["traffic"]
+        assert a["memory_ok"] is True
+
+
+def test_sweep_json_records_cache_provenance(capsys):
+    argv = ["sweep", "ReuseS", "--configs", "SDD", "--json"] + SMALL
+    assert main(argv) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert cold["results"][0]["from_cache"] is False
+    assert main(argv) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["results"][0]["from_cache"] is True
+    assert warm["results"][0]["cycles"] == cold["results"][0]["cycles"]
+
+
+def test_sweep_clear_cache(capsys):
+    assert main(["sweep", "ReuseS", "--configs", "SDD"] + SMALL) == 0
+    capsys.readouterr()
+    assert main(["sweep", "--clear-cache"]) == 0
+    assert "cleared 1 cached cell(s)" in capsys.readouterr().out
+    assert main(["sweep", "ReuseS", "--configs", "SDD"] + SMALL) == 0
+    assert "cache hits: 0" in capsys.readouterr().out
+
+
+def test_sweep_rejects_unknown_names(capsys):
+    assert main(["sweep", "NotAWorkload"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+    assert main(["sweep", "ReuseS", "--configs", "XYZ"]) == 2
+    assert "unknown config" in capsys.readouterr().err
+
+
+def test_figure2_with_jobs_prints_sweep_summary(capsys):
+    assert main(["figure2", "--jobs", "2"] + SMALL) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "cache hits:" in out and "wall time:" in out
+
+
 def test_bad_workload_rejected():
     with pytest.raises(SystemExit):
         main(["run", "NotAWorkload"])
@@ -65,3 +154,20 @@ def test_save_and_replay(tmp_path, capsys):
     assert main(["replay", path, "--config", "SDD", "--check"]) == 0
     out = capsys.readouterr().out
     assert "saved BC" in out and "memory: OK" in out
+
+
+def test_replay_reproduces_live_run_cycles(tmp_path, capsys):
+    # A saved spin_load/rmw-heavy workload (TQH pops a task queue with
+    # atomics and spins on flags) must replay to the exact cycle count
+    # of a live-generated run and still pass --check.
+    assert main(["run", "TQH", "--config", "SDD"] + SMALL) == 0
+    live = _cycles_by_config(capsys.readouterr().out)["SDD"]
+    path = str(tmp_path / "tqh.json")
+    assert main(["save", "TQH", path] + SMALL) == 0
+    capsys.readouterr()
+    assert main(["replay", path, "--config", "SDD", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "memory: OK" in out
+    replayed = int(
+        re.search(r"([\d,]+) cycles", out).group(1).replace(",", ""))
+    assert replayed == live

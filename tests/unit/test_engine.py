@@ -84,6 +84,43 @@ def test_run_until_pauses_and_resumes():
     assert seen == [5, 15]
 
 
+def test_run_until_advances_now_when_queue_drains_early():
+    # Regression: Engine.run(until=...) used to leave `now` at the last
+    # event time when the heap drained before `until`, so a resumed run
+    # would schedule "future" work in the quiescent gap's past.
+    engine = Engine()
+    seen = []
+    engine.schedule(3, lambda: seen.append(engine.now))
+    assert engine.run(until=100) == 100
+    assert seen == [3]
+    assert engine.now == 100
+
+
+def test_run_until_resume_after_quiescence():
+    engine = Engine()
+    seen = []
+    engine.schedule(3, lambda: seen.append(engine.now))
+    engine.run(until=100)
+    # new work scheduled after quiescence is relative to `until`
+    engine.schedule(5, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [3, 105]
+    assert engine.now == 105
+
+
+def test_run_until_on_empty_queue_advances():
+    engine = Engine()
+    assert engine.run(until=42) == 42
+    assert engine.now == 42
+
+
+def test_run_without_until_stays_at_last_event():
+    engine = Engine()
+    engine.schedule(7, lambda: None)
+    engine.run()
+    assert engine.now == 7
+
+
 def test_max_events_watchdog():
     engine = Engine()
 

@@ -89,6 +89,36 @@ def test_roundtripped_workload_simulates_identically():
     assert outcomes[0] == outcomes[1]
 
 
+@pytest.mark.parametrize("config", ("SDD", "HMG"))
+def test_sync_heavy_roundtrip_reproduces_cycles(config, tmp_path):
+    # TQH synchronizes through spin_load flags and rmw atomics (queue
+    # pops + histogram updates), the exact ops whose encoding is
+    # closure-sensitive; the reloaded trace must behave identically on
+    # both a Spandex and a hierarchical configuration.
+    workload = APPLICATIONS["TQH"](**SMALL)
+    assert any(op.kind == OpKind.SPIN_LOAD
+               for trace in workload.all_threads() for op in trace)
+    assert any(op.kind == OpKind.RMW
+               for trace in workload.all_threads() for op in trace)
+    path = str(tmp_path / "tqh.json")
+    save_workload(workload, path)
+    back = load_workload(path)
+    outcomes = []
+    for candidate in (workload, back):
+        system = build_system(scaled_config(config, 2, 2))
+        system.load_workload(candidate)
+        result = system.run(max_events=10_000_000)
+        outcomes.append((result.cycles, result.network_bytes))
+    assert outcomes[0] == outcomes[1]
+    # and the reloaded workload still passes memory validation
+    reference = back.reference()
+    system = build_system(scaled_config(config, 2, 2))
+    system.load_workload(back)
+    system.run(max_events=10_000_000)
+    assert all(system.read_coherent(addr) == value
+               for addr, value in reference.memory.items())
+
+
 def test_file_roundtrip(tmp_path):
     workload = MICROBENCHMARKS["ReuseS"](**SMALL)
     path = str(tmp_path / "wl.json")

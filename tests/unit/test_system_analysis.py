@@ -128,6 +128,50 @@ def test_format_traffic_stack_covers_classes():
         assert cls in text
 
 
+def test_format_figure_empty_results_is_a_message():
+    text = format_figure([], "Figure 2")
+    assert "no results" in text
+
+
+def test_format_figure_zero_cycle_base_does_not_crash():
+    wr = fake_result("w", {c: 0 for c in CONFIG_ORDER})
+    text = format_figure([wr], "title")
+    assert "no HMG baseline" in text
+    assert "not computable" in text
+
+
+def test_format_figure_missing_base_config():
+    wr = fake_result("w", {"SDD": 100, "SMD": 90})
+    text = format_figure([wr], "title")
+    assert "no HMG baseline" in text and "not run" in text
+
+
+def test_format_figure_mixed_good_and_degenerate_rows():
+    good = fake_result("good", {c: 100 for c in CONFIG_ORDER})
+    degenerate = fake_result("bad", {c: 0 for c in CONFIG_ORDER})
+    text = format_figure([good, degenerate], "title")
+    assert "good" in text and "no HMG baseline" in text
+    assert "Sbest vs Hbest: execution time" in text
+
+
+def test_format_traffic_stack_zero_base_is_a_message():
+    wr = fake_result("w", {c: 0 for c in CONFIG_ORDER})
+    text = format_traffic_stack(wr)
+    assert "zero bytes" in text
+
+
+def test_format_traffic_stack_missing_base_is_a_message():
+    wr = fake_result("w", {"SDD": 100})
+    text = format_traffic_stack(wr)
+    assert "was not run" in text
+
+
+def test_summarize_headline_empty_is_zero():
+    summary = summarize_headline([])
+    assert summary["avg_time_reduction"] == 0.0
+    assert summary["max_traffic_reduction"] == 0.0
+
+
 def test_experiment_runner_end_to_end_small():
     runner = ExperimentRunner(num_cpus=1, num_gpus=1, warps_per_cu=1,
                               configs=("SDD",))
