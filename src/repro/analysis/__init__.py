@@ -4,14 +4,14 @@ from .invariants import (InvariantChecker, InvariantViolation,
 from .report import (ConfigResult, ExperimentRunner, TRAFFIC_CLASSES,
                      WorkloadResult, format_figure, format_traffic_stack,
                      summarize_headline)
-from .sweep import (CellResult, CellSpec, ResultCache, SweepSummary,
-                    cell_key, code_fingerprint, grid_specs, run_sweep,
-                    simulate_cell)
+from .sweep import (CellError, CellResult, CellSpec, ResultCache,
+                    SweepSummary, cell_key, code_fingerprint, grid_specs,
+                    run_sweep, simulate_cell)
 
 __all__ = ["InvariantChecker", "InvariantViolation",
            "check_final_state", "ConfigResult", "ExperimentRunner", "TRAFFIC_CLASSES",
            "WorkloadResult", "format_figure", "format_traffic_stack",
            "summarize_headline",
-           "CellResult", "CellSpec", "ResultCache", "SweepSummary",
-           "cell_key", "code_fingerprint", "grid_specs", "run_sweep",
-           "simulate_cell"]
+           "CellError", "CellResult", "CellSpec", "ResultCache",
+           "SweepSummary", "cell_key", "code_fingerprint", "grid_specs",
+           "run_sweep", "simulate_cell"]

@@ -24,31 +24,77 @@ tests enable it, benchmark runs don't.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.home import HomeState
+from ..faults.diagnostics import collect_diagnostic
 from ..protocols.denovo import DeNovoL1, DnState
 from ..protocols.gpu_coherence import GPUCoherenceL1, GpuState
 from ..protocols.mesi import MESIL1, MesiState
 
 
 class InvariantViolation(AssertionError):
-    """A coherence invariant did not hold."""
+    """A coherence invariant did not hold.
+
+    ``diagnostic`` (when present) is the same structured dump the
+    liveness watchdog produces — every device's in-flight requests and
+    MSHRs, home transients, undelivered messages, and a cross-section
+    of the implicated lines.
+    """
+
+    def __init__(self, message: str,
+                 diagnostic: Optional[Dict[str, object]] = None):
+        super().__init__(message)
+        self.diagnostic = diagnostic
+
+
+@dataclass
+class MismatchRecord:
+    """One owner/holder disagreement observed during an audit."""
+
+    detail: str
+    owner: str
+    holders: List[str]
+    first_cycle: int
+    first_audit: int
 
 
 class InvariantChecker:
-    """Periodic global-state auditor for a built System."""
+    """Periodic global-state auditor for a built System.
 
-    def __init__(self, system, period: int = 500):
+    ``on_violation`` (if set) is called with the
+    :class:`InvariantViolation` — its ``diagnostic`` attribute already
+    populated — right before it is raised; use it to log or persist the
+    dump in harnesses that catch the exception far from the failure.
+    """
+
+    def __init__(self, system, period: int = 500,
+                 on_violation: Optional[
+                     Callable[[InvariantViolation], None]] = None):
         self.system = system
         self.period = period
+        self.on_violation = on_violation
         self.audits = 0
         self._armed = False
         #: owner/holder mismatches seen last audit: a mismatch is legal
         #: while an ownership transfer is in flight (the home records
         #: the future owner before the old owner's downgrade arrives),
         #: but the same mismatch persisting across audits is a bug.
-        self._pending_mismatches: Dict[Tuple[int, int], str] = {}
+        self._pending_mismatches: Dict[Tuple[int, int], MismatchRecord] = {}
+
+    # -- failure path -------------------------------------------------------
+    def _raise(self, message: str) -> None:
+        """Raise an :class:`InvariantViolation` with a structured dump."""
+        try:
+            diagnostic = collect_diagnostic(
+                self.system, reason=f"invariant violation: {message}")
+        except Exception:           # diagnostics must never mask the bug
+            diagnostic = None
+        error = InvariantViolation(message, diagnostic=diagnostic)
+        if self.on_violation is not None:
+            self.on_violation(error)
+        raise error
 
     # -- wiring -----------------------------------------------------------
     def arm(self) -> None:
@@ -62,7 +108,8 @@ class InvariantChecker:
         self.audit(final=False)
         if self.system.engine.pending() > 0:
             self.system.engine.schedule(self.period, self._tick,
-                                        label="invariant-audit")
+                                        label="invariant-audit",
+                                        idle=True)
 
     # -- helpers -----------------------------------------------------------
     def _writable_holders(self) -> Dict[Tuple[int, int], List[str]]:
@@ -112,13 +159,49 @@ class InvariantChecker:
     def _check_single_writer(self) -> None:
         for (line, index), holders in self._writable_holders().items():
             if len(holders) > 1:
-                raise InvariantViolation(
+                self._raise(
                     f"word 0x{line:x}[{index}] writable in multiple "
                     f"caches: {holders}")
 
+    def _transfer_trail(self, key: Tuple[int, int],
+                        record: MismatchRecord,
+                        holders_now: List[str]) -> str:
+        """Describe the stuck ownership transfer for the violation text.
+
+        The full machine dump rides on the exception's ``diagnostic``;
+        this inline trail gives the reader the transfer-specific story:
+        when the mismatch was first observed, how the holder set
+        evolved, and which transients/messages still reference the
+        line.
+        """
+        line, _ = key
+        now = self.system.engine.now
+        parts = [f"first seen at cycle {record.first_cycle} "
+                 f"(audit {record.first_audit}), still present at cycle "
+                 f"{now} (audit {self.audits})",
+                 f"holders then {record.holders}, now {holders_now}"]
+        for home in self._homes():
+            txns = [f"txn {t.txn_id} {t.kind} acks={t.acks_needed} "
+                    f"data_mask=0x{t.data_mask:04x}"
+                    for t in getattr(home, "_txns", {}).values()
+                    if t.line == line]
+            deferred = len(getattr(home, "_deferred", {}).get(line, ()))
+            if txns or deferred:
+                parts.append(f"{home.name}: {'; '.join(txns) or 'no txn'}"
+                             f", {deferred} deferred message(s)")
+        network = getattr(self.system, "network", None)
+        if network is not None and hasattr(network, "in_flight"):
+            msgs = [repr(msg) for _, msg in network.in_flight()
+                    if msg.line == line]
+            if msgs:
+                parts.append("in flight: " + ", ".join(msgs[:8]))
+            else:
+                parts.append("no messages in flight for the line")
+        return " | ".join(parts)
+
     def _check_home_ownership(self, final: bool = False) -> None:
         holders = self._writable_holders()
-        fresh_mismatches: Dict[Tuple[int, int], str] = {}
+        fresh_mismatches: Dict[Tuple[int, int], MismatchRecord] = {}
         for home in self._homes():
             for resident in home.array.lines():
                 owned_any = False
@@ -129,7 +212,7 @@ class InvariantChecker:
                     # inclusivity: the owned line is resident (trivially
                     # true here) and pinned against eviction
                     if not resident.pinned:
-                        raise InvariantViolation(
+                        self._raise(
                             f"{home.name}: owned line 0x{resident.line:x}"
                             " is not pinned")
                     key = (resident.line, index)
@@ -138,14 +221,23 @@ class InvariantChecker:
                         detail = (f"{home.name}: word 0x{resident.line:x}"
                                   f"[{index}] owner recorded as {owner} "
                                   f"but held writable by {caches}")
-                        if final or \
-                                self._pending_mismatches.get(key) == detail:
-                            raise InvariantViolation(
-                                detail + " (persisted across audits)"
-                                if not final else detail)
-                        fresh_mismatches[key] = detail
+                        if final:
+                            self._raise(detail)
+                        previous = self._pending_mismatches.get(key)
+                        if previous is not None and \
+                                previous.detail == detail:
+                            self._raise(
+                                detail + " (persisted across audits; "
+                                "ownership transfer stuck: "
+                                + self._transfer_trail(key, previous,
+                                                       caches) + ")")
+                        fresh_mismatches[key] = MismatchRecord(
+                            detail=detail, owner=owner,
+                            holders=list(caches),
+                            first_cycle=self.system.engine.now,
+                            first_audit=self.audits)
                 if owned_any and resident.state == HomeState.S:
-                    raise InvariantViolation(
+                    self._raise(
                         f"{home.name}: line 0x{resident.line:x} has "
                         "owned words while in Shared state")
         self._pending_mismatches = fresh_mismatches
@@ -166,14 +258,14 @@ class InvariantChecker:
                     continue
                 home_line = home.array.lookup(resident.line, touch=False)
                 if home_line is None:
-                    raise InvariantViolation(
+                    self._raise(
                         f"{l1.name}: S copy of 0x{resident.line:x} but "
                         f"the line is absent at {home.name}")
                 blocked = bool(home_line.meta.get("blocked_mask"))
                 sharers = home_line.meta.get("sharers", set())
                 if home_line.state == HomeState.S and \
                         l1.name not in sharers and not blocked:
-                    raise InvariantViolation(
+                    self._raise(
                         f"{l1.name}: unrecorded sharer of "
                         f"0x{resident.line:x}")
 
@@ -193,7 +285,7 @@ class InvariantChecker:
                         if isinstance(l1, MESIL1) and \
                                 copy.state == MesiState.S:
                             if copy.data[index] != expected:
-                                raise InvariantViolation(
+                                self._raise(
                                     f"{l1.name}: stale S value at "
                                     f"0x{resident.line:x}[{index}]: "
                                     f"{copy.data[index]} != {expected}")

@@ -32,10 +32,16 @@ class ConfigResult:
 
 @dataclass
 class WorkloadResult:
-    """All configurations' results for one workload."""
+    """All configurations' results for one workload.
+
+    ``errors`` maps configurations that produced no result (crash,
+    timeout, deadlock) to a human-readable reason; reports render such
+    cells as annotated gaps instead of failing the whole figure.
+    """
 
     workload: str
     results: Dict[str, ConfigResult]
+    errors: Dict[str, str] = field(default_factory=dict)
 
     def normalized_time(self, base: str = "HMG") -> Dict[str, float]:
         base_cycles = self.results[base].cycles
@@ -87,7 +93,9 @@ class ExperimentRunner:
                  configs: Sequence[str] = CONFIG_ORDER,
                  validate_memory: bool = True,
                  max_events: int = 60_000_000,
-                 jobs: int = 1, cache=None):
+                 jobs: int = 1, cache=None,
+                 cell_timeout: Optional[float] = None,
+                 cell_retries: int = 1):
         self.num_cpus = num_cpus
         self.num_gpus = num_gpus
         self.warps_per_cu = warps_per_cu
@@ -96,6 +104,8 @@ class ExperimentRunner:
         self.max_events = max_events
         self.jobs = jobs
         self.cache = cache
+        self.cell_timeout = cell_timeout
+        self.cell_retries = cell_retries
         #: SweepSummary of the most recent :meth:`run` (observability)
         self.last_sweep = None
 
@@ -114,7 +124,9 @@ class ExperimentRunner:
                  for config_name in self.configs]
         summary = run_sweep(specs, jobs=self.jobs, cache=self.cache,
                             validate_memory=self.validate_memory,
-                            max_events=self.max_events)
+                            max_events=self.max_events,
+                            cell_timeout=self.cell_timeout,
+                            cell_retries=self.cell_retries)
         self.last_sweep = summary
         (result,) = summary.workload_results()
         return result
@@ -129,35 +141,56 @@ def format_figure(results: Iterable[WorkloadResult],
 
     Degenerate inputs render as messages rather than crashing: an
     empty result list, a missing base configuration, or a base run
-    with zero cycles/bytes (nothing to normalize against).
+    with zero cycles/bytes (nothing to normalize against).  Cells that
+    failed (``WorkloadResult.errors``) render as ``FAIL`` gaps with the
+    reasons footnoted; the aggregates use whatever cells survived.
     """
     results = list(results)
     if not results:
         return f"== {title}: no results =="
-    configs = list(results[0].results)
+    configs: list = []
+    for wr in results:
+        for name in list(wr.results) + list(wr.errors):
+            if name not in configs:
+                configs.append(name)
     lines = [f"== {title} (normalized to {base}) ==",
              f"{'workload':<14}" + "".join(f"{c:>14}" for c in configs)]
     lines.append(f"{'':14}" + "".join(f"{'time/traffic':>14}"
                                       for _ in configs))
     reductions = []
+    footnotes = []
     for wr in results:
+        for name in sorted(wr.errors):
+            footnotes.append(f"  ! {wr.workload}/{name} "
+                             f"{wr.errors[name]}")
         base_result = wr.results.get(base)
         if base_result is None or base_result.cycles == 0 or \
                 base_result.network_bytes == 0:
             reason = ("not run" if base_result is None
                       else "zero cycles/bytes")
+            if base in wr.errors:
+                reason = "failed"
             lines.append(f"{wr.workload:<14}  "
                          f"(no {base} baseline: {reason})")
             continue
         times = wr.normalized_time(base)
         traffic = wr.normalized_traffic(base)
-        cells = "".join(f"{times[c]:>7.2f}/{traffic[c]:<6.2f}"
-                        for c in configs)
+        cells = ""
+        for c in configs:
+            if c in times:
+                cells += f"{times[c]:>7.2f}/{traffic[c]:<6.2f}"
+            elif c in wr.errors:
+                cells += f"{'FAIL':>9}{'!':<5}"
+            else:
+                cells += f"{'--':>14}"
         lines.append(f"{wr.workload:<14}{cells}")
         try:
             reductions.append(wr.sbest_vs_hbest())
         except (ValueError, ZeroDivisionError):
             pass        # a family missing or Hbest ran in zero cycles
+    if footnotes:
+        lines.append("failed cells:")
+        lines.extend(footnotes)
     if reductions:
         avg_t = sum(r["time_reduction"]
                     for r in reductions) / len(reductions)

@@ -31,11 +31,14 @@ from __future__ import annotations
 import hashlib
 import importlib
 import json
+import multiprocessing
 import os
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import warnings
+from collections import deque
 from dataclasses import asdict, dataclass, field
+from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Tuple)
@@ -207,8 +210,19 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro" / "sweep"
 
 
+#: keys every valid cached cell payload must carry
+_REQUIRED_PAYLOAD_KEYS = ("workload", "config", "cycles",
+                          "network_bytes", "traffic", "stats")
+
+
 class ResultCache:
-    """One JSON file per finished cell, named by its content hash."""
+    """One JSON file per finished cell, named by its content hash.
+
+    Unreadable or structurally invalid entries (truncated writes,
+    manual edits, schema drift) are *quarantined* — renamed to
+    ``<key>.json.corrupt`` — and treated as misses, so one bad file
+    degrades a sweep to a re-simulation instead of crashing it.
+    """
 
     def __init__(self, root: Optional[os.PathLike] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
@@ -220,9 +234,33 @@ class ResultCache:
         path = self._path(key)
         try:
             with open(path) as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError(f"payload is {type(payload).__name__}, "
+                                 "expected object")
+            for required in _REQUIRED_PAYLOAD_KEYS:
+                if required not in payload:
+                    raise KeyError(required)
+        except FileNotFoundError:
             return None
+        except (json.JSONDecodeError, ValueError, KeyError,
+                TypeError) as exc:
+            self._quarantine(path, exc)
+            return None
+        except OSError:
+            return None
+        return payload
+
+    def _quarantine(self, path: Path, exc: BaseException) -> None:
+        corrupt = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, corrupt)
+        except OSError:
+            return
+        warnings.warn(
+            f"quarantined corrupt sweep cache entry {path.name} "
+            f"({type(exc).__name__}: {exc}); treating as a miss",
+            RuntimeWarning, stacklevel=3)
 
     def put(self, key: str, payload: Mapping[str, object]) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -239,15 +277,17 @@ class ResultCache:
             raise
 
     def clear(self) -> int:
-        """Delete every cached cell; returns how many were removed."""
+        """Delete every cached cell (and quarantined entries);
+        returns how many were removed."""
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.json"):
-                try:
-                    path.unlink()
-                    removed += 1
-                except OSError:
-                    pass
+            for pattern in ("*.json", "*.json.corrupt"):
+                for path in self.root.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
 
     def __len__(self) -> int:
@@ -305,10 +345,50 @@ class CellResult:
 
 
 @dataclass
+class CellError:
+    """A cell that produced no result: crashed, timed out, or raised.
+
+    ``kind`` is ``"timeout"`` (exceeded the per-cell wall-clock
+    budget), ``"crash"`` (the worker process died without reporting —
+    segfault, OOM kill), or ``"error"`` (a Python exception, including
+    :class:`~repro.faults.DeadlockError`).  ``attempts`` counts every
+    run of the cell including re-runs.
+    """
+
+    spec: CellSpec
+    key: str
+    kind: str
+    message: str
+    attempts: int = 1
+
+    @property
+    def workload(self) -> str:
+        return self.spec.workload
+
+    @property
+    def config(self) -> str:
+        return self.spec.config
+
+    def describe(self) -> str:
+        note = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        return f"{self.kind}{note}: {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {"workload": self.workload, "config": self.config,
+                "kind": self.kind, "message": self.message,
+                "attempts": self.attempts, "key": self.key}
+
+
+@dataclass
 class SweepSummary:
-    """All cells of one sweep plus the observability counters."""
+    """All cells of one sweep plus the observability counters.
+
+    ``errors`` carries the cells that produced no result; a sweep with
+    failures still returns every other cell (partial-grid semantics).
+    """
 
     cells: List[CellResult] = field(default_factory=list)
+    errors: List[CellError] = field(default_factory=list)
     jobs: int = 1
     wall_time: float = 0.0
 
@@ -327,12 +407,23 @@ class SweepSummary:
         return sum(cell.wall_time for cell in self.cells)
 
     def workload_results(self) -> List[WorkloadResult]:
-        """Group cells into per-workload results, preserving cell order."""
+        """Group cells into per-workload results, preserving cell order.
+
+        Failed cells appear in each result's ``errors`` map; a workload
+        whose every cell failed still yields a (result-less)
+        :class:`WorkloadResult` so reports can annotate the gap.
+        """
         grouped: Dict[str, Dict[str, ConfigResult]] = {}
         for cell in self.cells:
             grouped.setdefault(cell.workload, {})[cell.config] = \
                 cell.config_result()
-        return [WorkloadResult(name, results)
+        failures: Dict[str, Dict[str, str]] = {}
+        for error in self.errors:
+            grouped.setdefault(error.workload, {})
+            failures.setdefault(error.workload, {})[error.config] = \
+                error.describe()
+        return [WorkloadResult(name, results,
+                               errors=failures.get(name, {}))
                 for name, results in grouped.items()]
 
     def merged_stats(self) -> StatsRegistry:
@@ -349,6 +440,7 @@ class SweepSummary:
             "cells": len(self.cells),
             "cache_hits": self.cache_hits,
             "simulated": self.simulated,
+            "errors": [error.to_json() for error in self.errors],
             "wall_time": self.wall_time,
             "sim_time": self.sim_time,
             "results": [
@@ -378,9 +470,13 @@ class SweepSummary:
                 f"{cell.workload:<14}{cell.config:<8}{cell.cycles:>12,}"
                 f"{cell.network_bytes:>14,.0f}"
                 f"{cell.wall_time:>8.2f}s  {source}")
+        for error in self.errors:
+            lines.append(
+                f"{error.workload:<14}{error.config:<8}"
+                f"{'-- no result --':>26}  {error.describe()}")
         lines.append(
             f"cells: {len(self.cells)}  cache hits: {self.cache_hits}  "
-            f"simulated: {self.simulated}")
+            f"simulated: {self.simulated}  failed: {len(self.errors)}")
         line = (f"wall time: {self.wall_time:.2f}s "
                 f"(summed cell time {self.sim_time:.2f}s")
         if self.wall_time > 0:
@@ -392,20 +488,125 @@ class SweepSummary:
 # ---------------------------------------------------------------------------
 # the runner
 # ---------------------------------------------------------------------------
+def _cell_worker(conn, spec: CellSpec, validate_memory: bool,
+                 max_events: int) -> None:
+    """Process-per-cell entry point: simulate and ship the payload.
+
+    Exceptions are reported over the pipe rather than raised, so the
+    parent can degrade gracefully; a worker that dies without sending
+    anything (segfault, OOM kill) is detected as EOF on the pipe.
+    """
+    try:
+        payload = simulate_cell(spec, validate_memory, max_events)
+    except BaseException as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", payload))
+    conn.close()
+
+
+def _run_isolated(misses: List[Tuple[int, CellSpec, str]], jobs: int,
+                  validate_memory: bool, max_events: int,
+                  cell_timeout: Optional[float], cell_retries: int,
+                  finish: Callable, fail: Callable) -> None:
+    """Run cells in dedicated processes with timeouts and re-runs.
+
+    Unlike a :class:`ProcessPoolExecutor`, one process per cell lets
+    the parent ``terminate()`` a runaway simulation without poisoning
+    a shared pool, and a crashed worker costs only its own cell.
+    Crashed and timed-out cells are re-run up to ``cell_retries``
+    times; Python-level exceptions are deterministic and are not.
+    """
+    ctx = multiprocessing.get_context()
+    pending = deque((index, spec, key, 1) for index, spec, key in misses)
+    running: Dict[object, Dict[str, object]] = {}   # conn -> record
+
+    def launch(index: int, spec: CellSpec, key: str, attempt: int) -> None:
+        parent, child = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_cell_worker,
+                           args=(child, spec, validate_memory, max_events),
+                           daemon=True)
+        proc.start()
+        child.close()
+        running[parent] = {"index": index, "spec": spec, "key": key,
+                           "attempt": attempt, "proc": proc,
+                           "started": time.monotonic()}
+
+    def reap(conn, record) -> None:
+        del running[conn]
+        record["proc"].join(timeout=5.0)
+        conn.close()
+
+    def retry_or_fail(record, kind: str, message: str) -> None:
+        retryable = kind in ("crash", "timeout")
+        if retryable and record["attempt"] <= cell_retries:
+            pending.append((record["index"], record["spec"],
+                            record["key"], record["attempt"] + 1))
+            return
+        fail(record["spec"], record["key"], kind, message,
+             record["attempt"])
+
+    while pending or running:
+        while pending and len(running) < max(1, jobs):
+            launch(*pending.popleft())
+        timeout = None
+        if cell_timeout is not None:
+            deadline = min(record["started"] + cell_timeout
+                           for record in running.values())
+            timeout = max(0.0, deadline - time.monotonic())
+        for conn in mp_connection.wait(list(running), timeout=timeout):
+            record = running[conn]
+            try:
+                status, value = conn.recv()
+            except (EOFError, OSError):
+                reap(conn, record)
+                retry_or_fail(
+                    record, "crash",
+                    "worker died without reporting "
+                    f"(exit code {record['proc'].exitcode})")
+                continue
+            reap(conn, record)
+            if status == "ok":
+                finish(record["index"], record["spec"], record["key"],
+                       value)
+            else:
+                retry_or_fail(record, "error", value)
+        if cell_timeout is not None:
+            now = time.monotonic()
+            for conn, record in list(running.items()):
+                if now - record["started"] > cell_timeout:
+                    record["proc"].terminate()
+                    reap(conn, record)
+                    retry_or_fail(
+                        record, "timeout",
+                        f"exceeded {cell_timeout:.1f}s wall-clock budget")
+
+
 def run_sweep(specs: Sequence[CellSpec], jobs: int = 1,
               cache: Optional[ResultCache] = None,
               validate_memory: bool = True,
               max_events: int = DEFAULT_MAX_EVENTS,
-              progress: Optional[Callable[[CellResult], None]] = None
-              ) -> SweepSummary:
+              progress: Optional[Callable[[CellResult], None]] = None,
+              cell_timeout: Optional[float] = None,
+              cell_retries: int = 1) -> SweepSummary:
     """Run every cell, in parallel when ``jobs > 1``, reusing ``cache``.
 
     Cache lookups and stores both happen in the parent, so workers stay
     read-only and a crashed worker can never poison the cache.  Results
     come back in spec order regardless of completion order.
+
+    Failures degrade gracefully: a crashed or timed-out cell is re-run
+    up to ``cell_retries`` times, then recorded as a :class:`CellError`
+    on the returned summary while every other cell's result survives.
+    ``cell_timeout`` (seconds of wall clock per cell) requires process
+    isolation and therefore applies when set even at ``jobs=1``.
     """
     started = time.perf_counter()
     results: List[Optional[CellResult]] = [None] * len(specs)
+    errors: List[CellError] = []
     misses: List[Tuple[int, CellSpec, str]] = []
     for index, spec in enumerate(specs):
         key = cell_key(spec, validate_memory, max_events)
@@ -427,22 +628,26 @@ def run_sweep(specs: Sequence[CellSpec], jobs: int = 1,
         if progress is not None:
             progress(cell)
 
-    if misses and jobs > 1:
-        with ProcessPoolExecutor(
-                max_workers=min(jobs, len(misses))) as pool:
-            futures = {
-                pool.submit(simulate_cell, spec, validate_memory,
-                            max_events): (index, spec, key)
-                for index, spec, key in misses}
-            for future in as_completed(futures):
-                index, spec, key = futures[future]
-                finish(index, spec, key, future.result())
+    def fail(spec: CellSpec, key: str, kind: str, message: str,
+             attempts: int) -> None:
+        errors.append(CellError(spec=spec, key=key, kind=kind,
+                                message=message, attempts=attempts))
+
+    if misses and (jobs > 1 or cell_timeout is not None):
+        _run_isolated(misses, jobs, validate_memory, max_events,
+                      cell_timeout, cell_retries, finish, fail)
     else:
         for index, spec, key in misses:
-            finish(index, spec, key,
-                   simulate_cell(spec, validate_memory, max_events))
+            try:
+                payload = simulate_cell(spec, validate_memory, max_events)
+            except Exception as exc:
+                fail(spec, key, "error",
+                     f"{type(exc).__name__}: {exc}", 1)
+                continue
+            finish(index, spec, key, payload)
 
     return SweepSummary(cells=[cell for cell in results
                                if cell is not None],
+                        errors=errors,
                         jobs=jobs,
                         wall_time=time.perf_counter() - started)

@@ -18,14 +18,18 @@ partial change only re-simulates the affected cells.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional
 
-from .analysis import (InvariantChecker, ResultCache, format_figure,
-                       format_traffic_stack, grid_specs, run_sweep,
-                       summarize_headline)
-from .system import CONFIG_ORDER, CONFIGS, build_system, scaled_config
+from .analysis import (InvariantChecker, InvariantViolation, ResultCache,
+                       format_figure, format_traffic_stack, grid_specs,
+                       run_sweep, summarize_headline)
+from .faults import format_diagnostic
+from .sim.engine import SimulationError
+from .system import (CONFIG_ORDER, CONFIGS, FaultConfig, WatchdogConfig,
+                     build_system, scaled_config)
 from .workloads import (APPLICATIONS, MICROBENCHMARKS, load_workload,
                         save_workload)
 
@@ -57,6 +61,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="audit coherence invariants during the run")
     run.add_argument("--traffic", action="store_true",
                      help="print the per-class traffic breakdown")
+    run.add_argument("--faults", type=int, default=None, metavar="SEED",
+                     help="enable deterministic fault injection "
+                          "(delay jitter, burst congestion, forced "
+                          "Nacks) with this seed")
+    run.add_argument("--watchdog-cycles", type=int, default=None,
+                     metavar="N",
+                     help="flag any request stalled beyond N cycles "
+                          "with a structured diagnostic dump "
+                          "(default: 400000)")
+    run.add_argument("--max-cycles", type=int, default=None,
+                     help="hard simulated-cycle budget (raises instead "
+                          "of looping forever)")
 
     for figure, workloads in (("figure2", MICROBENCHMARKS),
                               ("figure3", APPLICATIONS)):
@@ -120,6 +136,14 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
                         help="result cache location (default: "
                              "$REPRO_SWEEP_CACHE or "
                              "~/.cache/repro/sweep)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per grid cell; cells "
+                             "over budget are killed, re-run, and "
+                             "finally reported as annotated gaps")
+    parser.add_argument("--cell-retries", type=int, default=1,
+                        help="re-runs granted to a crashed or "
+                             "timed-out cell (default: 1)")
 
 
 def _sweep_cache(args) -> Optional[ResultCache]:
@@ -148,17 +172,30 @@ def _cmd_run(args) -> int:
             num_cpus=args.cpus, num_gpus=args.gpus,
             warps_per_cu=args.warps)
 
+    def system_config(config_name: str):
+        config = scaled_config(config_name, args.cpus, args.gpus)
+        replacements = {}
+        if args.faults is not None:
+            replacements["faults"] = FaultConfig.stress(args.faults)
+        if args.watchdog_cycles is not None:
+            replacements["watchdog"] = WatchdogConfig(
+                stall_cycles=args.watchdog_cycles)
+        if replacements:
+            config = dataclasses.replace(config, **replacements)
+        return config
+
     workload = fresh_workload()
     reference = workload.reference() if args.check else None
     configs = (list(CONFIG_ORDER) if args.config == "all"
                else [args.config])
     print(f"{args.workload}: {workload.total_ops():,} operations "
           f"({args.cpus} CPUs, {args.gpus} CUs x {args.warps} warps)")
+    if args.faults is not None:
+        print(f"fault injection enabled (seed {args.faults})")
     failures = 0
     for config_name in configs:
         workload = fresh_workload()
-        system = build_system(scaled_config(config_name, args.cpus,
-                                            args.gpus))
+        system = build_system(system_config(config_name))
         system.load_workload(workload)
         checker: Optional[InvariantChecker] = None
         if args.invariants:
@@ -171,9 +208,21 @@ def _cmd_run(args) -> int:
                 cu.start()
         if checker is not None:
             checker.arm()
-        result_cycles = system.engine.run(max_events=200_000_000)
-        if checker is not None:
-            checker.audit(final=True)
+        if system.watchdog is not None:
+            system.watchdog.arm()
+        try:
+            result_cycles = system.engine.run(
+                max_events=200_000_000, max_cycles=args.max_cycles)
+            if checker is not None:
+                checker.audit(final=True)
+        except (SimulationError, InvariantViolation) as exc:
+            # DeadlockError and budget exhaustion included: report and
+            # dump rather than tracebacking out of the CLI
+            print(f"  {config_name}: FAILED — {exc}", file=sys.stderr)
+            diagnostic = getattr(exc, "diagnostic", None)
+            if diagnostic:
+                print(format_diagnostic(diagnostic), file=sys.stderr)
+            return 3
         bad = 0
         if reference is not None:
             bad = sum(1 for addr, value in reference.memory.items()
@@ -185,6 +234,12 @@ def _cmd_run(args) -> int:
             line += f"  memory: {'OK' if bad == 0 else f'{bad} BAD'}"
         if checker is not None:
             line += f"  invariants: OK ({checker.audits} audits)"
+        if args.faults is not None:
+            delayed = (system.stats.get("faults.jitter_delayed")
+                       + system.stats.get("faults.burst_delayed"))
+            line += (f"  faults: {delayed:.0f} delayed, "
+                     f"{system.stats.get('llc.forced_nacks'):.0f} Nacked,"
+                     f" {system.stats.get('tu.nack_retries'):.0f} retried")
         print(line)
         if args.traffic:
             for cls, nbytes in sorted(
@@ -203,7 +258,9 @@ def _run_grid(args, workload_names) -> "SweepSummary":
     specs = grid_specs(workload_names, CONFIG_ORDER,
                        dict(num_cpus=args.cpus, num_gpus=args.gpus,
                             warps_per_cu=args.warps))
-    return run_sweep(specs, jobs=args.jobs, cache=_sweep_cache(args))
+    return run_sweep(specs, jobs=args.jobs, cache=_sweep_cache(args),
+                     cell_timeout=args.cell_timeout,
+                     cell_retries=args.cell_retries)
 
 
 def _cmd_figure(args, workloads, title) -> int:
@@ -258,13 +315,18 @@ def _cmd_sweep(args) -> int:
                        dict(num_cpus=args.cpus, num_gpus=args.gpus,
                             warps_per_cu=args.warps))
     summary = run_sweep(specs, jobs=args.jobs, cache=_sweep_cache(args),
-                        validate_memory=not args.no_check)
+                        validate_memory=not args.no_check,
+                        cell_timeout=args.cell_timeout,
+                        cell_retries=args.cell_retries)
     if args.json:
         json.dump(summary.to_json(), sys.stdout, indent=1,
                   sort_keys=True)
         print()
     else:
         print(summary.format_summary())
+    for error in summary.errors:
+        print(f"cell produced no result: {error.workload} on "
+              f"{error.config} ({error.describe()})", file=sys.stderr)
     bad_cells = [cell for cell in summary.cells
                  if cell.memory_ok is False]
     for cell in bad_cells:

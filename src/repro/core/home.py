@@ -81,6 +81,12 @@ class HomeTxn:
 class SpandexHome(Component):
     """Shared Spandex home-node machinery (see module docstring)."""
 
+    #: protocol families whose devices can recover from a forced Nack
+    #: at this home (a Nack path exists: TU retry/escalation in flat
+    #: configurations, the DeNovo native retry in hierarchical ones).
+    #: The fault injector only amplifies Nacks toward these families.
+    FORCED_NACK_FAMILIES: tuple = ()
+
     def __init__(self, engine: Engine, name: str, network: Network,
                  stats: StatsRegistry, size_bytes: int, assoc: int = 16,
                  access_latency: int = 10, banks: int = 16,
@@ -105,6 +111,9 @@ class SpandexHome(Component):
         #: writer-initiated Shared state; 'option3' always grants
         #: exclusivity.  Exposed for the ablation benchmarks.
         self.reqs_policy = "auto"
+        #: optional deterministic fault injector (repro.faults): forces
+        #: spurious Nacks on ReqV to stress requestor retry paths
+        self.fault_injector = None
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -360,6 +369,17 @@ class SpandexHome(Component):
 
     # -- ReqV ------------------------------------------------------------
     def _handle_reqv(self, msg: Message, line_obj: CacheLine) -> None:
+        if self.fault_injector is not None and \
+                self.device_protocols.get(msg.src) in \
+                self.FORCED_NACK_FAMILIES and \
+                self.fault_injector.should_nack(msg):
+            # Amplified owner-departed race (§III-C.3): reject the ReqV
+            # and let the requestor's retry/escalation path recover.
+            self.stats.incr("llc.forced_nacks")
+            self.network.send(Message(
+                MsgKind.NACK, msg.line, msg.mask, src=self.name,
+                dst=msg.src, req_id=msg.req_id))
+            return
         owned = self._owned_mask(line_obj) & msg.mask
         # Forward word-granularity ReqV per remote owner; the owner
         # responds directly to the requestor (Figure 1c).  No state

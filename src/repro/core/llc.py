@@ -20,6 +20,10 @@ from .home import SpandexHome
 class SpandexLLC(SpandexHome):
     """Spandex last-level cache backed by main memory."""
 
+    # Flat-configuration devices sit behind TUs, which retry/escalate
+    # Nacked ReqV for both families (MESI L1s never issue ReqV).
+    FORCED_NACK_FAMILIES = ("DeNovo", "GPU")
+
     def __init__(self, engine: Engine, network: Network,
                  stats: StatsRegistry, dram: MainMemory,
                  size_bytes: int = 8 * 1024 * 1024, assoc: int = 16,

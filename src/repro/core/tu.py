@@ -22,6 +22,8 @@ what the cache natively supports:
 
 from __future__ import annotations
 
+import random
+import zlib
 from typing import Dict
 
 from ..coherence.addr import FULL_LINE_MASK, iter_mask
@@ -34,17 +36,38 @@ from ..sim.stats import StatsRegistry
 
 
 class TranslationUnit(Component):
-    """Base TU: network endpoint wrapping a device L1."""
+    """Base TU: network endpoint wrapping a device L1.
+
+    Nack handling: up to ``nack_retry_limit`` re-issues of the Nacked
+    ReqV with exponential backoff (``backoff_base << attempt``, capped
+    at ``backoff_cap``) plus deterministic per-device jitter, then the
+    family-specific escalation (:meth:`_escalate`).  Backoff spreads
+    retries from many devices hammering the same contended line — the
+    previous immediate re-issue amplified exactly the congestion that
+    caused the Nack.
+    """
 
     PROTOCOL_FAMILY = "GPU"
 
     def __init__(self, engine: Engine, network: Network,
-                 stats: StatsRegistry, l1: L1Controller, latency: int = 1):
+                 stats: StatsRegistry, l1: L1Controller, latency: int = 1,
+                 nack_retry_limit: int = 0, backoff_base: int = 8,
+                 backoff_cap: int = 128, backoff_jitter: int = 0,
+                 retry_seed: int = 0):
         super().__init__(engine, l1.name)
         self.network = network
         self.stats = stats
         self.l1 = l1
         self.latency = latency
+        self.nack_retry_limit = nack_retry_limit
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        # Deterministic per-device stream: crc32 of the device name
+        # (not hash(), which is salted per process) xor the fault seed.
+        self._retry_rng = random.Random(
+            zlib.crc32(l1.name.encode()) ^ retry_seed)
+        self._retries: Dict[int, int] = {}       # req_id -> attempts
         l1.tu = self
         network.register(self)
 
@@ -62,9 +85,28 @@ class TranslationUnit(Component):
         if msg.kind == MsgKind.NACK:
             self._handle_nack(msg)
             return
+        self._retries.pop(msg.req_id, None)
         self.l1.receive(msg)
 
     def _handle_nack(self, msg: Message) -> None:
+        attempts = self._retries.get(msg.req_id, 0)
+        if attempts < self.nack_retry_limit:
+            self._retries[msg.req_id] = attempts + 1
+            delay = min(self.backoff_cap, self.backoff_base << attempts)
+            if self.backoff_jitter > 0:
+                delay += self._retry_rng.randrange(self.backoff_jitter + 1)
+            self.stats.incr("tu.nack_retries")
+            self.stats.incr("tu.backoff_cycles", delay)
+            self.stats.incr_group("tu.retries_by_device", self.name)
+            self.schedule(delay, lambda: self.network.send(Message(
+                MsgKind.REQ_V, msg.line, msg.mask, src=self.name,
+                dst=self.l1.home, req_id=msg.req_id)),
+                label="nack-backoff")
+            return
+        self._retries.pop(msg.req_id, None)
+        self._escalate(msg)
+
+    def _escalate(self, msg: Message) -> None:
         raise SimulationError(f"{self.name}: unexpected Nack {msg}")
 
 
@@ -73,7 +115,7 @@ class GPUCoherenceTU(TranslationUnit):
 
     PROTOCOL_FAMILY = "GPU"
 
-    def _handle_nack(self, msg: Message) -> None:
+    def _escalate(self, msg: Message) -> None:
         # Replace the failed ReqV with a ReqWT+data that performs an
         # identity update at the LLC: it enforces a global order with
         # racing ownership requests and returns the current value.
@@ -88,7 +130,7 @@ class DeNovoTU(TranslationUnit):
 
     PROTOCOL_FAMILY = "DeNovo"
 
-    def _handle_nack(self, msg: Message) -> None:
+    def _escalate(self, msg: Message) -> None:
         self.stats.incr("tu.escalations")
         self.network.send(Message(
             MsgKind.REQ_O_DATA, msg.line, msg.mask, src=self.name,
@@ -104,8 +146,9 @@ class MESITU(TranslationUnit):
                       MsgKind.REQ_O_DATA, MsgKind.REQ_S, MsgKind.RVK_O)
 
     def __init__(self, engine: Engine, network: Network,
-                 stats: StatsRegistry, l1: MESIL1, latency: int = 1):
-        super().__init__(engine, network, stats, l1, latency)
+                 stats: StatsRegistry, l1: MESIL1, latency: int = 1,
+                 **retry_kwargs):
+        super().__init__(engine, network, stats, l1, latency, **retry_kwargs)
         #: line -> {word: value}: data retained for TU-issued partial
         #: write-backs until the LLC acknowledges them
         self._tu_wb: Dict[int, Dict[int, int]] = {}
@@ -297,8 +340,15 @@ class MESITU(TranslationUnit):
 
 
 def make_tu(engine: Engine, network: Network, stats: StatsRegistry,
-            l1: L1Controller, latency: int = 1) -> TranslationUnit:
-    """Build the TU matching the wrapped cache's protocol family."""
+            l1: L1Controller, latency: int = 1,
+            **retry_kwargs) -> TranslationUnit:
+    """Build the TU matching the wrapped cache's protocol family.
+
+    ``retry_kwargs`` (``nack_retry_limit``, ``backoff_base``,
+    ``backoff_cap``, ``backoff_jitter``, ``retry_seed``) configure the
+    bounded Nack retry/backoff policy; by default retries are off and a
+    Nack escalates immediately.
+    """
     family = getattr(l1, "PROTOCOL_FAMILY", "GPU")
     cls = {"GPU": GPUCoherenceTU, "DeNovo": DeNovoTU, "MESI": MESITU}[family]
-    return cls(engine, network, stats, l1, latency)
+    return cls(engine, network, stats, l1, latency, **retry_kwargs)

@@ -1,0 +1,24 @@
+"""Fault injection, liveness watchdogs, and deadlock diagnostics.
+
+The protocol controllers in :mod:`repro.core` and
+:mod:`repro.protocols` were hand-written from the paper's FSM
+descriptions; unlike the original SLICC tables they were never
+stress-tested in GEMS.  This package supplies the equivalent machinery:
+
+* :class:`FaultInjector` — deterministic, seeded perturbation of the
+  network (extra delay jitter, burst congestion) and the home node
+  (forced Nacks), preserving the point-to-point FIFO ordering the
+  controllers assume;
+* :class:`LivenessWatchdog` — bounds how long any L1 request or MSHR
+  entry may stay outstanding and turns a silent protocol hang into a
+  :class:`DeadlockError` carrying a structured diagnostic dump;
+* :func:`collect_diagnostic` / :func:`format_diagnostic` — the shared
+  dump formatter used by the watchdog and the invariant checker.
+"""
+
+from .diagnostics import collect_diagnostic, format_diagnostic
+from .injector import FaultInjector
+from .watchdog import DeadlockError, LivenessWatchdog, system_busy
+
+__all__ = ["FaultInjector", "LivenessWatchdog", "DeadlockError",
+           "system_busy", "collect_diagnostic", "format_diagnostic"]

@@ -1,0 +1,227 @@
+"""Structured deadlock / invariant diagnostic dumps.
+
+One formatter serves both failure paths: the liveness watchdog's
+:class:`~repro.faults.watchdog.DeadlockError` and the invariant
+checker's ``on_violation`` hook produce the same dump, so a protocol
+bug reads identically no matter which detector fired first.
+
+:func:`collect_diagnostic` returns a JSON-safe dict (tests and tooling
+consume it); :func:`format_diagnostic` renders it for humans.  Both
+duck-type the system object (``cpu_l1s`` / ``gpu_l1s`` / ``llc`` /
+``gpu_l2`` / ``network`` / ``engine``) so miniature test harnesses work
+as well as fully built systems.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+#: cap on how many implicated cache lines get a full state cross-section
+MAX_LINES_DUMPED = 16
+
+
+def _l1s(system) -> List:
+    return list(getattr(system, "cpu_l1s", [])) + \
+        list(getattr(system, "gpu_l1s", []))
+
+
+def _homes(system) -> List:
+    homes = []
+    gpu_l2 = getattr(system, "gpu_l2", None)
+    if gpu_l2 is not None:
+        homes.append(gpu_l2)
+    llc = getattr(system, "llc", None)
+    if llc is not None:
+        homes.append(llc)
+    return homes
+
+
+def _state_name(state) -> str:
+    if isinstance(state, enum.Enum):
+        return str(state.value)
+    return str(state)
+
+
+def _line_view(resident) -> Dict[str, object]:
+    """One cache line as (line state, per-word states, owners, data)."""
+    return {
+        "state": _state_name(resident.state),
+        "words": "".join(_state_name(s)[0] for s in resident.word_states),
+        "owners": [owner for owner in resident.owner],
+        "data": list(resident.data),
+        "pinned": resident.pinned,
+        "blocked_mask": int(resident.meta.get("blocked_mask", 0)),
+    }
+
+
+def _device_view(l1, now: int) -> Dict[str, object]:
+    inflight = []
+    for req_id, entry in sorted(getattr(l1, "_inflight", {}).items()):
+        inflight.append({
+            "req_id": req_id,
+            "line": f"0x{entry.line:x}",
+            "purpose": entry.purpose,
+            "remaining_mask": entry.remaining,
+            "age": now - getattr(entry, "issued_at", now),
+        })
+    mshr_lines = []
+    mshrs = getattr(l1, "mshrs", None)
+    if mshrs is not None:
+        for line in mshrs.lines():
+            entry = mshrs.lookup(line)
+            mshr_lines.append({
+                "line": f"0x{line:x}",
+                "requests": len(entry.all_requests()),
+                "age": now - entry.allocated_at,
+            })
+    view = {
+        "inflight": inflight,
+        "mshr": mshr_lines,
+        "store_buffer": len(getattr(l1, "store_buffer", ())),
+        "pending_writes": getattr(l1, "_pending_writes", 0),
+    }
+    tu = getattr(l1, "tu", None)
+    if tu is not None:
+        view["tu"] = _tu_view(tu)
+    return view
+
+
+def _tu_view(tu) -> Dict[str, object]:
+    """TU transient state: retained write-back data and retry budget."""
+    view: Dict[str, object] = {"type": type(tu).__name__}
+    retained = getattr(tu, "_tu_wb", None)
+    if retained:
+        view["retained_wb_lines"] = [f"0x{line:x}" for line in retained]
+    own = getattr(tu, "_own_req_lines", None)
+    if own:
+        view["own_writebacks"] = {req: f"0x{line:x}"
+                                  for req, line in own.items()}
+    retries = getattr(tu, "_retries", None)
+    if retries:
+        view["nack_retries"] = dict(retries)
+    return view
+
+
+def _home_view(home) -> Dict[str, object]:
+    txns = []
+    for txn in getattr(home, "_txns", {}).values():
+        txns.append({
+            "txn_id": txn.txn_id,
+            "line": f"0x{txn.line:x}",
+            "kind": txn.kind,
+            "mask": txn.mask,
+            "acks_needed": txn.acks_needed,
+            "data_mask": txn.data_mask,
+        })
+    deferred = {f"0x{line:x}": len(queue) for line, queue
+                in getattr(home, "_deferred", {}).items()}
+    fetching = [f"0x{line:x}" for line in getattr(home, "_fetching", ())]
+    return {"txns": txns, "deferred": deferred, "fetching": fetching}
+
+
+def _implicated_lines(system, stalled) -> List[int]:
+    lines = []
+    for record in stalled or []:
+        line = record.get("line")
+        if isinstance(line, str):
+            line = int(line, 16)
+        if line is not None and line not in lines:
+            lines.append(line)
+    for l1 in _l1s(system):
+        mshrs = getattr(l1, "mshrs", None)
+        if mshrs is not None:
+            for line in mshrs.lines():
+                if line not in lines:
+                    lines.append(line)
+    for home in _homes(system):
+        for txn in getattr(home, "_txns", {}).values():
+            if txn.line not in lines:
+                lines.append(txn.line)
+    return lines[:MAX_LINES_DUMPED]
+
+
+def collect_diagnostic(system, reason: str,
+                       stalled: Optional[List[Dict]] = None
+                       ) -> Dict[str, object]:
+    """Snapshot every layer's state into a JSON-safe dict."""
+    engine = getattr(system, "engine", None)
+    now = engine.now if engine is not None else 0
+    diag: Dict[str, object] = {
+        "reason": reason,
+        "cycle": now,
+        "stalled": list(stalled or []),
+        "devices": {l1.name: _device_view(l1, now) for l1 in _l1s(system)},
+        "homes": {home.name: _home_view(home) for home in _homes(system)},
+    }
+    network = getattr(system, "network", None)
+    if network is not None and hasattr(network, "in_flight"):
+        diag["network"] = [
+            {"delivery": time, "msg": repr(msg)}
+            for time, msg in network.in_flight()]
+    lines: Dict[str, Dict[str, object]] = {}
+    for line in _implicated_lines(system, stalled):
+        cross: Dict[str, object] = {}
+        for holder in _l1s(system) + _homes(system):
+            array = getattr(holder, "array", None)
+            if array is None:
+                continue
+            resident = array.lookup(line, touch=False)
+            if resident is not None:
+                cross[holder.name] = _line_view(resident)
+        lines[f"0x{line:x}"] = cross
+    diag["lines"] = lines
+    return diag
+
+
+def format_diagnostic(diag: Dict[str, object]) -> str:
+    """Render :func:`collect_diagnostic` output for a terminal."""
+    lines = [f"== diagnostic @ cycle {diag.get('cycle', '?')}: "
+             f"{diag.get('reason', '')} =="]
+    for record in diag.get("stalled", []):
+        lines.append(f"  STALLED {record}")
+    for name, view in diag.get("devices", {}).items():
+        busy = view.get("inflight") or view.get("mshr") or \
+            view.get("store_buffer") or view.get("pending_writes")
+        if not busy:
+            continue
+        lines.append(f"  device {name}: "
+                     f"store_buffer={view.get('store_buffer', 0)} "
+                     f"pending_writes={view.get('pending_writes', 0)}")
+        for entry in view.get("inflight", []):
+            lines.append(f"    inflight req={entry['req_id']} "
+                         f"line={entry['line']} {entry['purpose']} "
+                         f"remaining=0x{entry['remaining_mask']:04x} "
+                         f"age={entry['age']}")
+        for entry in view.get("mshr", []):
+            lines.append(f"    mshr line={entry['line']} "
+                         f"requests={entry['requests']} "
+                         f"age={entry['age']}")
+        tu = view.get("tu")
+        if tu:
+            lines.append(f"    tu {tu}")
+    for name, view in diag.get("homes", {}).items():
+        if not (view["txns"] or view["deferred"] or view["fetching"]):
+            continue
+        lines.append(f"  home {name}:")
+        for txn in view["txns"]:
+            lines.append(f"    txn {txn['txn_id']} line={txn['line']} "
+                         f"{txn['kind']} acks={txn['acks_needed']} "
+                         f"data_mask=0x{txn['data_mask']:04x}")
+        for line, count in view["deferred"].items():
+            lines.append(f"    deferred {line}: {count} message(s)")
+        if view["fetching"]:
+            lines.append(f"    fetching: {', '.join(view['fetching'])}")
+    network = diag.get("network", [])
+    if network:
+        lines.append(f"  in-flight messages ({len(network)}):")
+        for entry in network[:32]:
+            lines.append(f"    t={entry['delivery']} {entry['msg']}")
+    for line, cross in diag.get("lines", {}).items():
+        lines.append(f"  line {line}:")
+        for holder, view in cross.items():
+            lines.append(f"    {holder}: state={view['state']} "
+                         f"words={view['words']} "
+                         f"owners={view['owners']} "
+                         f"blocked=0x{view['blocked_mask']:04x}")
+    return "\n".join(lines)

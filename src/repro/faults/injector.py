@@ -1,0 +1,88 @@
+"""Deterministic seeded fault injector.
+
+The injector perturbs *timing only*: extra per-message delay jitter,
+periodic burst congestion windows, and forced Nacks for ReqV at a
+Spandex home.  All perturbations are legal protocol behaviors (a slow
+link, a congested switch, an owner that departed before a forwarded
+request arrived), so a correct protocol must produce byte-identical
+final memory under any seed — only cycle counts may move.
+
+Determinism: draws come from private :class:`random.Random` streams
+(one per fault kind, so network and home consultations never interleave
+draws), and the discrete-event engine orders consultations identically
+given the same seed and configuration.  Burst windows are a pure
+function of the cycle counter and need no randomness at all.
+
+FIFO preservation: extra delay is folded into the link latency *before*
+:class:`~repro.network.noc.Network` applies its per-link monotonic
+delivery clamp, so point-to-point FIFO ordering — a correctness
+assumption of every controller — survives any jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..coherence.messages import Message
+    from ..sim.stats import StatsRegistry
+    from ..system.config import FaultConfig
+
+
+class FaultInjector:
+    """Seeded timing-fault source consulted by the network and homes."""
+
+    def __init__(self, config: "FaultConfig",
+                 stats: Optional["StatsRegistry"] = None):
+        self.config = config
+        self.stats = stats
+        # Independent streams per fault kind: the network and the home
+        # consult the injector in interleaved but deterministic order,
+        # and separate streams keep each kind's sequence stable even if
+        # another kind is reconfigured.
+        self._delay_rng = random.Random(config.seed)
+        self._nack_rng = random.Random(config.seed ^ 0x5DEECE66D)
+
+    # ------------------------------------------------------------------
+    def _class_matches(self, msg: "Message") -> bool:
+        classes = self.config.classes
+        return not classes or msg.traffic_class in classes
+
+    def in_burst(self, now: int) -> bool:
+        """Is ``now`` inside a congestion burst window?"""
+        period = self.config.burst_period
+        if period <= 0 or self.config.burst_length <= 0:
+            return False
+        return (now % period) < self.config.burst_length
+
+    def extra_delay(self, msg: "Message", now: int) -> int:
+        """Extra link cycles to charge this send (possibly zero)."""
+        extra = 0
+        if self.in_burst(now) and self.config.burst_extra > 0:
+            extra += self.config.burst_extra
+            if self.stats is not None:
+                self.stats.incr("faults.burst_delayed")
+        if self.config.delay_prob > 0 and self.config.max_extra_delay > 0 \
+                and self._class_matches(msg) \
+                and self._delay_rng.random() < self.config.delay_prob:
+            extra += self._delay_rng.randint(1, self.config.max_extra_delay)
+            if self.stats is not None:
+                self.stats.incr("faults.jitter_delayed")
+        if extra and self.stats is not None:
+            self.stats.incr("faults.extra_delay_cycles", extra)
+        return extra
+
+    def should_nack(self, msg: "Message") -> bool:
+        """Should the home reject this ReqV with a forced Nack?
+
+        Emulates the owner-departed race of §III-C.3 on demand; the
+        requestor's Nack path (TU retry/escalation or the DeNovo native
+        retry) must recover with the correct value.
+        """
+        if self.config.nack_prob <= 0:
+            return False
+        hit = self._nack_rng.random() < self.config.nack_prob
+        if hit and self.stats is not None:
+            self.stats.incr("faults.forced_nacks")
+        return hit

@@ -14,23 +14,31 @@ T = TypeVar("T")
 
 
 class MSHREntry(Generic[T]):
-    __slots__ = ("line", "primary", "secondaries", "meta")
+    __slots__ = ("line", "primary", "secondaries", "meta", "allocated_at")
 
-    def __init__(self, line: int, primary: T):
+    def __init__(self, line: int, primary: T, allocated_at: int = 0):
         self.line = line
         self.primary = primary
         self.secondaries: List[T] = []
         self.meta: Dict[str, object] = {}
+        #: cycle the entry was allocated (liveness-watchdog age base)
+        self.allocated_at = allocated_at
 
     def all_requests(self) -> List[T]:
         return [self.primary] + self.secondaries
 
 
 class MSHRFile(Generic[T]):
-    """Fixed-capacity map of line address -> :class:`MSHREntry`."""
+    """Fixed-capacity map of line address -> :class:`MSHREntry`.
 
-    def __init__(self, capacity: int):
+    ``clock`` (usually ``lambda: engine.now``) timestamps allocations so
+    the liveness watchdog can flag entries stalled past a cycle bound.
+    """
+
+    def __init__(self, capacity: int,
+                 clock: Optional[Callable[[], int]] = None):
         self.capacity = capacity
+        self.clock = clock
         self._entries: Dict[int, MSHREntry[T]] = {}
 
     def __len__(self) -> int:
@@ -51,7 +59,8 @@ class MSHRFile(Generic[T]):
             raise RuntimeError(f"MSHR already allocated for 0x{line:x}")
         if self.full:
             raise RuntimeError("MSHR file full; caller must stall")
-        entry = MSHREntry(line, primary)
+        now = self.clock() if self.clock is not None else 0
+        entry = MSHREntry(line, primary, allocated_at=now)
         self._entries[line] = entry
         return entry
 
@@ -72,3 +81,8 @@ class MSHRFile(Generic[T]):
 
     def lines(self) -> List[int]:
         return list(self._entries)
+
+    def stalled(self, now: int, bound: int) -> List[MSHREntry[T]]:
+        """Entries allocated more than ``bound`` cycles ago."""
+        return [entry for entry in self._entries.values()
+                if now - entry.allocated_at > bound]

@@ -14,8 +14,9 @@ correctness assumption of the protocol controllers.
 
 from __future__ import annotations
 
+from collections import deque
 from math import ceil
-from typing import Callable, Dict, Optional, Protocol, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Protocol, Tuple
 
 from ..coherence.messages import Message
 from ..sim.engine import Engine, SimulationError
@@ -67,6 +68,12 @@ class Network:
         self._last_delivery: Dict[Tuple[str, str], int] = {}
         #: optional tap for tracing every message (tests, walkthroughs)
         self.trace_hook: Optional[Callable[[Message, int], None]] = None
+        #: optional deterministic fault injector (repro.faults); extra
+        #: delay folds into link latency *before* the FIFO clamp
+        self.fault_injector = None
+        #: (delivery time, message) of undelivered sends, kept for
+        #: watchdog/deadlock diagnostics; pruned lazily from the front
+        self._in_flight: Deque[Tuple[int, Message]] = deque()
 
     def register(self, endpoint: Endpoint) -> None:
         if endpoint.name in self._endpoints:
@@ -94,9 +101,12 @@ class Network:
         serialization = max(1, ceil(size / self.link_bytes_per_cycle))
         start = max(now, self._link_free.get(link, 0))
         self._link_free[link] = start + serialization
-        delivery = start + serialization + self.latency_model.latency(
-            msg.src, msg.dst)
-        # Preserve point-to-point FIFO even if parameters ever vary.
+        latency = self.latency_model.latency(msg.src, msg.dst)
+        if self.fault_injector is not None:
+            latency += self.fault_injector.extra_delay(msg, now)
+        delivery = start + serialization + latency
+        # Preserve point-to-point FIFO even if parameters ever vary
+        # (including injected per-message delay jitter).
         delivery = max(delivery, self._last_delivery.get(link, 0))
         self._last_delivery[link] = delivery
         self.stats.incr("network.latency_cycles", delivery - now)
@@ -104,6 +114,15 @@ class Network:
         target = self._endpoints[msg.dst]
         if self.trace_hook is not None:
             self.trace_hook(msg, delivery)
+        while self._in_flight and self._in_flight[0][0] < now:
+            self._in_flight.popleft()
+        self._in_flight.append((delivery, msg))
         self.engine.schedule_at(
             delivery, lambda m=msg, t=target: t.receive(m),
             label=f"net:{msg.kind.value}->{msg.dst}")
+
+    def in_flight(self) -> List[Tuple[int, Message]]:
+        """Undelivered (delivery time, message) pairs, for diagnostics."""
+        now = self.engine.now
+        return [(time, msg) for time, msg in self._in_flight
+                if time >= now]

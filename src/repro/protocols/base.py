@@ -68,9 +68,10 @@ class Inflight:
     """
 
     __slots__ = ("req_id", "line", "purpose", "remaining", "data",
-                 "granted_o", "no_cache", "accesses", "meta")
+                 "granted_o", "no_cache", "accesses", "meta", "issued_at")
 
-    def __init__(self, req_id: int, line: int, purpose: str, remaining: int):
+    def __init__(self, req_id: int, line: int, purpose: str, remaining: int,
+                 issued_at: int = 0):
         self.req_id = req_id
         self.line = line
         self.purpose = purpose           # load | store | rmw | wb
@@ -80,6 +81,8 @@ class Inflight:
         self.no_cache = 0                # words served uncacheably
         self.accesses: List[Access] = []
         self.meta: Dict[str, object] = {}
+        #: cycle the request was issued (liveness-watchdog age base)
+        self.issued_at = issued_at
 
 
 class L1Controller(Component):
@@ -101,7 +104,8 @@ class L1Controller(Component):
         self.network = network
         self.stats = stats
         self.home = home
-        self.mshrs: MSHRFile = MSHRFile(mshr_entries)
+        self.mshrs: MSHRFile = MSHRFile(mshr_entries,
+                                        clock=lambda: engine.now)
         self.store_buffer = StoreBuffer(store_buffer_words)
         self.hit_latency = hit_latency
         self._pending_writes = 0
@@ -197,7 +201,8 @@ class L1Controller(Component):
                remaining: Optional[int] = None) -> Inflight:
         inflight = Inflight(
             msg.req_id, msg.line, purpose,
-            remaining if remaining is not None else msg.mask)
+            remaining if remaining is not None else msg.mask,
+            issued_at=self.now)
         self._inflight[msg.req_id] = inflight
         return inflight
 

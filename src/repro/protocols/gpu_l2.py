@@ -27,6 +27,10 @@ from ..sim.engine import SimulationError
 class GPUL2(SpandexHome):
     """Spandex-style home for GPU L1s; MESI client toward the L3."""
 
+    # Hierarchical GPU L1s attach natively (no TU); only DeNovo has a
+    # native Nack retry path, so forced Nacks target DeNovo devices.
+    FORCED_NACK_FAMILIES = ("DeNovo",)
+
     def __init__(self, *args, l3_name: str = "l3", **kwargs):
         super().__init__(*args, **kwargs)
         self.l3_name = l3_name

@@ -325,6 +325,15 @@ class MESIL1(L1Controller):
     # ------------------------------------------------------------------
     def _ext_fwd_gets(self, msg: Message) -> None:
         state = self.probe_state(msg.line)
+        if state in ("IM", "IS"):
+            # The directory already records us as owner, but our data
+            # grant travels on a different link (the previous owner's)
+            # and may still be in flight.  Stall the forward until the
+            # grant lands, as a TBE would.
+            self.count("fwd_stalls")
+            self.probe_after_grant(msg.line,
+                                   lambda: self._ext_fwd_gets(msg))
+            return
         if state in ("M", "E"):
             line_obj = self.array.lookup(msg.line, touch=False)
             line_obj.state = MesiState.S
@@ -345,6 +354,12 @@ class MESIL1(L1Controller):
 
     def _ext_fwd_getm(self, msg: Message) -> None:
         state = self.probe_state(msg.line)
+        if state in ("IM", "IS"):
+            # same in-flight-grant race as _ext_fwd_gets
+            self.count("fwd_stalls")
+            self.probe_after_grant(msg.line,
+                                   lambda: self._ext_fwd_getm(msg))
+            return
         if state in ("M", "E"):
             line_obj = self.array.lookup(msg.line, touch=False)
             data = line_obj.read_data(FULL_LINE_MASK)

@@ -25,17 +25,23 @@ class Event:
 
     Events support cancellation: a cancelled event stays in the heap but
     is skipped when popped.  This keeps cancellation O(1).
+
+    ``idle`` events are housekeeping (watchdog ticks, periodic audits):
+    they run only while non-idle work remains in the heap, so they never
+    keep an otherwise-quiescent simulation alive or stretch its measured
+    length.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "cancelled", "label", "idle")
 
     def __init__(self, time: int, seq: int, callback: Callable[[], None],
-                 label: str = ""):
+                 label: str = "", idle: bool = False):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
         self.label = label
+        self.idle = idle
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it."""
@@ -58,6 +64,10 @@ class Engine:
         self._now = 0
         self._events_executed = 0
         self._running = False
+        #: called when the queue drains (end of run): a liveness
+        #: watchdog installs its quiescence check here so a dropped
+        #: message raises instead of returning a truncated run.
+        self.stall_check: Optional[Callable[[], None]] = None
 
     @property
     def now(self) -> int:
@@ -70,14 +80,16 @@ class Engine:
         return self._events_executed
 
     def schedule(self, delay: int, callback: Callable[[], None],
-                 label: str = "") -> Event:
+                 label: str = "", idle: bool = False) -> Event:
         """Schedule ``callback`` to run ``delay`` cycles from now.
 
         Returns the :class:`Event`, which the caller may cancel.
+        ``idle`` marks housekeeping that should be dropped once only
+        idle events remain (see :class:`Event`).
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for {label!r}")
-        event = Event(self._now + delay, self._seq, callback, label)
+        event = Event(self._now + delay, self._seq, callback, label, idle)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
@@ -92,12 +104,15 @@ class Engine:
         return sum(1 for e in self._heap if not e.cancelled)
 
     def run(self, until: Optional[int] = None,
-            max_events: Optional[int] = None) -> int:
+            max_events: Optional[int] = None,
+            max_cycles: Optional[int] = None) -> int:
         """Run events until the queue drains.
 
         ``until`` bounds simulated time; ``max_events`` bounds executed
-        events (a watchdog against protocol livelock).  Returns the
-        simulation time when the run stopped.
+        events and ``max_cycles`` bounds simulated cycles (safety
+        limits against protocol livelock — both raise a clear
+        :class:`SimulationError` instead of looping forever).  Returns
+        the simulation time when the run stopped.
 
         When ``until`` is given, time always advances to ``until`` even
         if the queue drains earlier, so a caller that resumes the engine
@@ -112,10 +127,22 @@ class Engine:
                 event = heapq.heappop(self._heap)
                 if event.cancelled:
                     continue
+                if event.idle and not any(
+                        not e.cancelled and not e.idle
+                        for e in self._heap):
+                    # Only housekeeping remains: drop it without
+                    # advancing time, so watchdog/audit ticks never
+                    # stretch a quiescent run.
+                    continue
                 if until is not None and event.time > until:
                     # Put it back: the caller may resume later.
                     heapq.heappush(self._heap, event)
                     break
+                if max_cycles is not None and event.time > max_cycles:
+                    heapq.heappush(self._heap, event)
+                    raise SimulationError(
+                        f"cycle budget exhausted ({max_cycles}); "
+                        "possible protocol livelock")
                 self._now = event.time
                 event.callback()
                 self._events_executed += 1
@@ -123,6 +150,8 @@ class Engine:
                     raise SimulationError(
                         f"event budget exhausted ({max_events}); "
                         "possible protocol livelock")
+            if not self._heap and self.stall_check is not None:
+                self.stall_check()
             if until is not None and self._now < until:
                 self._now = until
         finally:

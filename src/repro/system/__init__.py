@@ -1,8 +1,10 @@
 """System configurations (Tables V/VI) and the machine builder."""
 from .builder import RunResult, System, build_system
-from .config import (CONFIG_ORDER, CONFIGS, HIERARCHICAL_CONFIGS,
-                     SPANDEX_CONFIGS, SystemConfig, scaled_config)
+from .config import (CONFIG_ORDER, CONFIGS, FaultConfig,
+                     HIERARCHICAL_CONFIGS, SPANDEX_CONFIGS, SystemConfig,
+                     WatchdogConfig, scaled_config)
 
 __all__ = ["RunResult", "System", "build_system", "CONFIG_ORDER",
-           "CONFIGS", "HIERARCHICAL_CONFIGS", "SPANDEX_CONFIGS",
-           "SystemConfig", "scaled_config"]
+           "CONFIGS", "FaultConfig", "HIERARCHICAL_CONFIGS",
+           "SPANDEX_CONFIGS", "SystemConfig", "WatchdogConfig",
+           "scaled_config"]

@@ -21,6 +21,7 @@ from ..core.llc import SpandexLLC
 from ..core.tu import make_tu
 from ..devices.cpu import CPUCore
 from ..devices.gpu import GPUCU
+from ..faults import FaultInjector, LivenessWatchdog
 from ..mem.dram import MainMemory
 from ..network.noc import LatencyModel, Network
 from ..protocols.denovo import DeNovoL1
@@ -52,6 +53,16 @@ class System:
         self.gpu_l1s: List = []
         self.llc = None           # SpandexLLC or MESIDirectoryLLC
         self.gpu_l2: Optional[GPUL2] = None
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.faults is not None and config.faults.active:
+            self.fault_injector = FaultInjector(config.faults, self.stats)
+            self.network.fault_injector = self.fault_injector
+        self.watchdog: Optional[LivenessWatchdog] = None
+        if config.watchdog.enabled:
+            self.watchdog = LivenessWatchdog(
+                self, stall_cycles=config.watchdog.stall_cycles,
+                period=config.watchdog.period)
+            self.engine.stall_check = self.watchdog.quiescence_check
         self._build()
 
     # ------------------------------------------------------------------
@@ -72,6 +83,16 @@ class System:
                     mshr_entries=config.l1_mshrs,
                     store_buffer_words=config.store_buffer_words)
 
+    def _tu_kwargs(self) -> Dict[str, object]:
+        config = self.config
+        return dict(
+            nack_retry_limit=config.tu_nack_retry_limit,
+            backoff_base=config.tu_backoff_base,
+            backoff_cap=config.tu_backoff_cap,
+            backoff_jitter=config.tu_backoff_jitter,
+            retry_seed=(config.faults.seed
+                        if config.faults is not None else 0))
+
     def _build_spandex(self) -> None:
         config = self.config
         self.llc = SpandexLLC(
@@ -79,6 +100,7 @@ class System:
             size_bytes=config.llc_size, assoc=config.llc_assoc,
             access_latency=config.llc_access_latency,
             banks=config.llc_banks)
+        self.llc.fault_injector = self.fault_injector
         for index in range(config.num_cpus):
             name = f"cpu{index}.l1"
             if config.cpu_protocol == "MESI":
@@ -93,7 +115,7 @@ class System:
                               **self._base_kwargs("llc"),
                               **self._l1_kwargs())
             tu = make_tu(self.engine, self.network, self.stats, l1,
-                         config.tu_latency)
+                         config.tu_latency, **self._tu_kwargs())
             self.llc.device_protocols[name] = l1.PROTOCOL_FAMILY
             self.latency_model.set_pair(name, "llc", config.net_cpu_llc)
             self.cpu_l1s.append(l1)
@@ -114,7 +136,7 @@ class System:
                               **self._base_kwargs("llc"),
                               **self._l1_kwargs())
             tu = make_tu(self.engine, self.network, self.stats, l1,
-                         config.tu_latency)
+                         config.tu_latency, **self._tu_kwargs())
             self.llc.device_protocols[name] = l1.PROTOCOL_FAMILY
             self.latency_model.set_pair(name, "llc", config.net_gpu_llc)
             self.gpu_l1s.append(l1)
@@ -134,6 +156,7 @@ class System:
             size_bytes=config.gpu_l2_size, assoc=config.llc_assoc,
             access_latency=config.gpu_l2_access_latency,
             banks=config.llc_banks, l3_name="l3")
+        self.gpu_l2.fault_injector = self.fault_injector
         self.latency_model.set_pair("gpu_l2", "l3", config.net_l2_l3)
         for index in range(config.num_cpus):
             name = f"cpu{index}.l1"
@@ -205,8 +228,16 @@ class System:
                     return resident.data[index]
         return self.dram.peek(line)[index]
 
-    def run(self, max_events: Optional[int] = 50_000_000):
-        """Start every device and run to quiescence."""
+    def run(self, max_events: Optional[int] = 50_000_000,
+            max_cycles: Optional[int] = None):
+        """Start every device and run to quiescence.
+
+        ``max_events`` / ``max_cycles`` bound the simulation; exceeding
+        either raises :class:`~repro.sim.engine.SimulationError`.  When
+        the watchdog is enabled a hung protocol raises
+        :class:`~repro.faults.DeadlockError` with a structured dump
+        instead of burning the full budget.
+        """
         for core in self.cpus:
             if core.trace:
                 core.start()
@@ -218,7 +249,9 @@ class System:
             def record(dev=device):
                 done_times[dev.name] = self.engine.now
             device.on_done = record
-        self.engine.run(max_events=max_events)
+        if self.watchdog is not None:
+            self.watchdog.arm()
+        self.engine.run(max_events=max_events, max_cycles=max_cycles)
         cycles = max(done_times.values()) if done_times else self.engine.now
         self.stats.set("execution.cycles", cycles)
         return RunResult(self.config.name, cycles, self.stats, self.dram)

@@ -26,10 +26,56 @@ states on inter-device synchronization (paper §IV-A).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 KB = 1024
 MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault-injection parameters (``repro.faults``).
+
+    All faults perturb timing only (extra delay, forced Nacks), so a
+    correct protocol yields byte-identical final memory for any seed.
+    """
+
+    seed: int = 0
+    #: per-message probability of extra delay, and its max magnitude
+    delay_prob: float = 0.0
+    max_extra_delay: int = 0
+    #: periodic congestion bursts: every ``burst_period`` cycles, the
+    #: first ``burst_length`` cycles charge ``burst_extra`` per message
+    burst_period: int = 0
+    burst_length: int = 0
+    burst_extra: int = 0
+    #: probability a Spandex home force-Nacks an incoming ReqV
+    nack_prob: float = 0.0
+    #: traffic classes eligible for delay jitter (empty = all)
+    classes: Tuple[str, ...] = ()
+
+    @property
+    def active(self) -> bool:
+        return (self.delay_prob > 0 or self.nack_prob > 0
+                or (self.burst_period > 0 and self.burst_length > 0))
+
+    @classmethod
+    def stress(cls, seed: int = 0) -> "FaultConfig":
+        """The standing stress profile used by tests and CI."""
+        return cls(seed=seed, delay_prob=0.05, max_extra_delay=40,
+                   burst_period=4000, burst_length=250, burst_extra=25,
+                   nack_prob=0.02)
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Liveness watchdog parameters (``repro.faults.watchdog``)."""
+
+    enabled: bool = True
+    #: cycles a request / MSHR entry may stay outstanding
+    stall_cycles: int = 400_000
+    #: audit period; 0 = ``stall_cycles // 4``
+    period: int = 0
 
 
 @dataclass(frozen=True)
@@ -71,6 +117,18 @@ class SystemConfig:
     link_bytes_per_cycle: int = 32
 
     tu_latency: int = 1
+
+    #: TU Nack handling: bounded ReqV retries with exponential backoff
+    #: plus deterministic per-device jitter before escalating
+    tu_nack_retry_limit: int = 2
+    tu_backoff_base: int = 8
+    tu_backoff_cap: int = 128
+    tu_backoff_jitter: int = 7
+
+    #: optional fault injection (None = fault-free run)
+    faults: Optional[FaultConfig] = None
+    #: liveness watchdog (on by default; a hang becomes DeadlockError)
+    watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
 
     @property
     def hierarchical(self) -> bool:

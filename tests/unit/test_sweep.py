@@ -71,11 +71,16 @@ def test_unknown_workload_without_ref_raises():
 
 
 # -- the cache -----------------------------------------------------------------
+#: smallest payload the cache's schema validation accepts
+VALID_PAYLOAD = {"workload": "W", "config": "SDD", "cycles": 7,
+                 "network_bytes": 1.0, "traffic": {}, "stats": {}}
+
+
 def test_cache_roundtrip_and_clear(tmp_path):
     cache = ResultCache(tmp_path)
     assert cache.get("missing") is None
-    cache.put("k1", {"cycles": 7})
-    assert cache.get("k1") == {"cycles": 7}
+    cache.put("k1", VALID_PAYLOAD)
+    assert cache.get("k1") == VALID_PAYLOAD
     assert len(cache) == 1
     assert cache.clear() == 1
     assert cache.get("k1") is None
@@ -84,7 +89,8 @@ def test_cache_roundtrip_and_clear(tmp_path):
 def test_cache_tolerates_corrupt_entries(tmp_path):
     cache = ResultCache(tmp_path)
     (tmp_path / "bad.json").write_text("{not json")
-    assert cache.get("bad") is None
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        assert cache.get("bad") is None
 
 
 def test_cache_env_default(tmp_path, monkeypatch):

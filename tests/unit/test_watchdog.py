@@ -1,0 +1,159 @@
+"""Liveness-watchdog tests: a synthetic deadlock (a test-only TU that
+drops a response on the floor) must be detected by both detectors —
+the quiescence check when the event queue drains, and the periodic
+stall check while other traffic keeps the queue busy — each raising
+``DeadlockError`` with a structured diagnostic dump.
+"""
+
+import pytest
+
+from repro.coherence.messages import MsgKind
+from repro.faults import (DeadlockError, LivenessWatchdog,
+                          format_diagnostic, system_busy)
+from repro.sim.engine import Engine, SimulationError
+from tests.harness import MiniSpandex
+
+
+class SystemView:
+    """Adapts MiniSpandex to the watchdog's duck-typed system shape."""
+
+    def __init__(self, mini):
+        self.engine = mini.engine
+        self.network = mini.network
+        self.cpu_l1s = list(mini.l1s.values())
+        self.gpu_l1s = []
+        self.llc = mini.llc
+        self.gpu_l2 = None
+        self.cpus = []
+        self.gpus = []
+
+
+def drop_first_response(mini, device):
+    """Make the device's TU silently swallow its first data response."""
+    tu = mini.tus[device]
+    original = tu._handle
+    dropped = []
+
+    def evil_handle(msg):
+        if msg.kind != MsgKind.NACK and not dropped:
+            dropped.append(msg)
+            return                       # the deadlock: response lost
+        original(msg)
+
+    tu._handle = evil_handle
+    return dropped
+
+
+# -- quiescence detector ------------------------------------------------------
+def test_dropped_response_deadlock_detected_at_quiescence():
+    mini = MiniSpandex({"dev0": "DeNovo"})
+    mini.seed(0x1000, {0: 42})
+    dropped = drop_first_response(mini, "dev0")
+    watchdog = LivenessWatchdog(SystemView(mini), stall_cycles=10_000)
+    mini.engine.stall_check = watchdog.quiescence_check
+
+    completion = mini.load("dev0", 0x1000, 0x1)
+    with pytest.raises(DeadlockError) as excinfo:
+        mini.run()
+    assert dropped, "the evil TU never saw the response"
+    assert not completion.done
+    assert "not quiescent" in str(excinfo.value)
+    diag = excinfo.value.diagnostic
+    assert diag["devices"]
+    dump = format_diagnostic(diag)
+    assert "dev0" in dump
+
+
+def test_clean_run_passes_quiescence_check():
+    mini = MiniSpandex({"dev0": "DeNovo"})
+    mini.seed(0x1000, {0: 42})
+    watchdog = LivenessWatchdog(SystemView(mini), stall_cycles=10_000)
+    mini.engine.stall_check = watchdog.quiescence_check
+    completion = mini.load("dev0", 0x1000, 0x1)
+    mini.run()
+    assert completion.done and completion.values[0] == 42
+    assert not system_busy(SystemView(mini))
+
+
+# -- periodic stall detector --------------------------------------------------
+def test_stalled_request_detected_while_queue_stays_busy():
+    mini = MiniSpandex({"dev0": "DeNovo", "dev1": "DeNovo"})
+    mini.seed(0x1000, {0: 7})
+    drop_first_response(mini, "dev0")
+    view = SystemView(mini)
+    watchdog = LivenessWatchdog(view, stall_cycles=200, period=50)
+    watchdog.arm()
+
+    # unrelated traffic keeps the event queue alive past the bound
+    def chatter(remaining=80):
+        if remaining:
+            mini.load("dev1", 0x2000 + (remaining % 4) * 64, 0x1)
+            mini.engine.schedule(20, lambda: chatter(remaining - 1),
+                                 label="chatter")
+
+    chatter()
+    mini.load("dev0", 0x1000, 0x1)
+    with pytest.raises(DeadlockError) as excinfo:
+        mini.run()
+    assert "liveness watchdog" in str(excinfo.value)
+    stalled = excinfo.value.diagnostic["stalled"]
+    assert any(entry["device"] == "dev0" and entry["kind"] == "request"
+               for entry in stalled)
+    assert watchdog.checks > 1
+
+
+def test_watchdog_tick_does_not_stretch_quiescent_run():
+    mini = MiniSpandex({"dev0": "DeNovo"})
+    mini.seed(0x1000, {0: 1})
+    watchdog = LivenessWatchdog(SystemView(mini), stall_cycles=100_000)
+    watchdog.arm()
+    mini.load("dev0", 0x1000, 0x1)
+    end = mini.run()
+    # the pending 25k-cycle watchdog tick is idle housekeeping: it must
+    # be dropped, not executed at its scheduled time
+    assert end < 1_000
+
+
+# -- engine safety limits -----------------------------------------------------
+def make_self_feeding_engine(step=1):
+    engine = Engine()
+
+    def tick():
+        engine.schedule(step, tick, label="tick")
+
+    engine.schedule(step, tick, label="tick")
+    return engine
+
+
+def test_max_events_budget_raises():
+    engine = make_self_feeding_engine()
+    with pytest.raises(SimulationError, match="event budget"):
+        engine.run(max_events=100)
+    assert engine.events_executed == 100
+
+
+def test_max_cycles_budget_raises():
+    engine = make_self_feeding_engine(step=10)
+    with pytest.raises(SimulationError, match="cycle budget"):
+        engine.run(max_cycles=500)
+    assert engine.now <= 500
+
+
+def test_idle_events_dropped_when_only_housekeeping_remains():
+    engine = Engine()
+    ran = []
+    engine.schedule(10, lambda: ran.append("real"), label="real")
+    engine.schedule(100, lambda: ran.append("idle"), label="idle",
+                    idle=True)
+    assert engine.run() == 10
+    assert ran == ["real"]
+
+
+def test_idle_events_run_while_real_work_remains():
+    engine = Engine()
+    ran = []
+    engine.schedule(5, lambda: ran.append("idle"), label="idle",
+                    idle=True)
+    engine.schedule(10, lambda: ran.append("real"), label="real")
+    engine.run()
+    assert ran == ["idle", "real"]
