@@ -1,0 +1,65 @@
+"""Guard: with tracing disabled, the observability layer must stay off
+the hot path.
+
+Every trace point compiles to one attribute load plus an ``is None``
+branch when ``engine.tracer`` is unset.  This benchmark bounds the cost
+two ways:
+
+1. *Analytically*: count how many trace points a real run executes
+   (the traced run's ``seen`` counter, doubled to cover guards that
+   fire no event), measure the per-guard cost with ``timeit``, and
+   assert the product stays under 5% of the measured trace-disabled
+   wall time.
+2. *Empirically*: print the disabled-vs-enabled wall times so a
+   regression (e.g. someone moving real work outside a guard) is
+   visible in the benchmark log.
+"""
+
+import dataclasses
+import time
+import timeit
+
+from repro.sim.engine import Engine
+from repro.system import TraceConfig, build_system, scaled_config
+from repro.workloads import MICROBENCHMARKS
+
+SCALE = dict(num_cpus=2, num_gpus=4, warps_per_cu=2)
+ROUNDS = 3
+MAX_OVERHEAD = 0.05
+
+
+def _run(trace: bool) -> tuple:
+    config = scaled_config("SDD", SCALE["num_cpus"], SCALE["num_gpus"])
+    if trace:
+        config = dataclasses.replace(config, trace=TraceConfig())
+    workload = MICROBENCHMARKS["ReuseS"](**SCALE)
+    system = build_system(config)
+    system.load_workload(workload)
+    started = time.perf_counter()
+    system.run(max_events=60_000_000)
+    return time.perf_counter() - started, system
+
+
+def test_disabled_tracing_overhead_is_bounded(benchmark):
+    disabled_wall, _ = benchmark.pedantic(
+        lambda: _run(trace=False), rounds=ROUNDS, iterations=1)
+    traced_wall, traced_system = _run(trace=True)
+
+    # how many guard sites does this run actually execute?
+    guards = traced_system.tracer.seen * 2
+    engine = Engine()
+    per_guard = timeit.timeit("engine.tracer is None",
+                              globals={"engine": engine},
+                              number=200_000) / 200_000
+    estimated = guards * per_guard
+
+    print(f"\ntrace-disabled wall: {disabled_wall * 1000:.1f} ms, "
+          f"traced: {traced_wall * 1000:.1f} ms "
+          f"({traced_wall / disabled_wall - 1:+.1%})")
+    print(f"guard sites executed: ~{guards:,}, per-guard cost "
+          f"{per_guard * 1e9:.1f} ns -> estimated disabled-path "
+          f"overhead {estimated * 1000:.2f} ms "
+          f"({estimated / disabled_wall:.2%} of run)")
+    assert estimated < MAX_OVERHEAD * disabled_wall, (
+        f"trace-disabled guard overhead {estimated / disabled_wall:.1%} "
+        f"exceeds the {MAX_OVERHEAD:.0%} budget")

@@ -168,19 +168,32 @@ def cell_key(spec: CellSpec, validate_memory: bool = True,
 # the worker
 # ---------------------------------------------------------------------------
 def simulate_cell(spec: CellSpec, validate_memory: bool = True,
-                  max_events: int = DEFAULT_MAX_EVENTS
-                  ) -> Dict[str, object]:
+                  max_events: int = DEFAULT_MAX_EVENTS,
+                  trace_dir: Optional[str] = None) -> Dict[str, object]:
     """Regenerate the workload and simulate one cell.
 
     Top-level so process pools can pickle it by reference.  Returns a
     JSON-safe dict (the cache's on-disk format).
+
+    ``trace_dir`` enables observability for the run and persists a
+    Chrome trace plus a profiler snapshot next to the cached result
+    (``<workload>-<config>-<key12>.trace.json`` / ``.profile.json``).
+    Tracing is passive, so the payload — and therefore the cache key —
+    is identical with or without it; artifacts are only (re)written
+    when the cell actually simulates.
     """
     started = time.perf_counter()
     workload = spec.resolve_generator()(**spec.kwargs_dict())
     reference = workload.reference() if validate_memory else None
 
     from ..system.builder import build_system
-    system = build_system(spec.system_config())
+    config = spec.system_config()
+    if trace_dir is not None:
+        import dataclasses
+
+        from ..system.config import TraceConfig
+        config = dataclasses.replace(config, trace=TraceConfig())
+    system = build_system(config)
     system.load_workload(workload)
     run = system.run(max_events=max_events)
 
@@ -188,7 +201,7 @@ def simulate_cell(spec: CellSpec, validate_memory: bool = True,
     if reference is not None:
         memory_ok = all(system.read_coherent(addr) == value
                         for addr, value in reference.memory.items())
-    return {
+    payload: Dict[str, object] = {
         "workload": spec.workload,
         "config": spec.config,
         "cycles": run.cycles,
@@ -198,6 +211,24 @@ def simulate_cell(spec: CellSpec, validate_memory: bool = True,
         "memory_ok": memory_ok,
         "wall_time": time.perf_counter() - started,
     }
+    if trace_dir is not None and system.tracer is not None:
+        from ..obs import write_chrome_trace
+        key12 = cell_key(spec, validate_memory, max_events)[:12]
+        stem = f"{spec.workload}-{spec.config}-{key12}"
+        root = Path(trace_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        trace_path = root / f"{stem}.trace.json"
+        write_chrome_trace(str(trace_path), [{
+            "name": f"{spec.workload}/{spec.config}",
+            "events": system.tracer.events(),
+        }])
+        profile_path = root / f"{stem}.profile.json"
+        with open(profile_path, "w") as handle:
+            json.dump(system.profiler.snapshot(), handle, indent=1,
+                      sort_keys=True)
+        payload["trace_artifact"] = str(trace_path)
+        payload["profile_artifact"] = str(profile_path)
+    return payload
 
 
 # ---------------------------------------------------------------------------
@@ -489,7 +520,7 @@ class SweepSummary:
 # the runner
 # ---------------------------------------------------------------------------
 def _cell_worker(conn, spec: CellSpec, validate_memory: bool,
-                 max_events: int) -> None:
+                 max_events: int, trace_dir: Optional[str]) -> None:
     """Process-per-cell entry point: simulate and ship the payload.
 
     Exceptions are reported over the pipe rather than raised, so the
@@ -497,7 +528,8 @@ def _cell_worker(conn, spec: CellSpec, validate_memory: bool,
     anything (segfault, OOM kill) is detected as EOF on the pipe.
     """
     try:
-        payload = simulate_cell(spec, validate_memory, max_events)
+        payload = simulate_cell(spec, validate_memory, max_events,
+                                trace_dir)
     except BaseException as exc:
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -511,7 +543,8 @@ def _cell_worker(conn, spec: CellSpec, validate_memory: bool,
 def _run_isolated(misses: List[Tuple[int, CellSpec, str]], jobs: int,
                   validate_memory: bool, max_events: int,
                   cell_timeout: Optional[float], cell_retries: int,
-                  finish: Callable, fail: Callable) -> None:
+                  finish: Callable, fail: Callable,
+                  trace_dir: Optional[str] = None) -> None:
     """Run cells in dedicated processes with timeouts and re-runs.
 
     Unlike a :class:`ProcessPoolExecutor`, one process per cell lets
@@ -527,7 +560,8 @@ def _run_isolated(misses: List[Tuple[int, CellSpec, str]], jobs: int,
     def launch(index: int, spec: CellSpec, key: str, attempt: int) -> None:
         parent, child = ctx.Pipe(duplex=False)
         proc = ctx.Process(target=_cell_worker,
-                           args=(child, spec, validate_memory, max_events),
+                           args=(child, spec, validate_memory, max_events,
+                                 trace_dir),
                            daemon=True)
         proc.start()
         child.close()
@@ -591,7 +625,8 @@ def run_sweep(specs: Sequence[CellSpec], jobs: int = 1,
               max_events: int = DEFAULT_MAX_EVENTS,
               progress: Optional[Callable[[CellResult], None]] = None,
               cell_timeout: Optional[float] = None,
-              cell_retries: int = 1) -> SweepSummary:
+              cell_retries: int = 1,
+              trace_dir: Optional[str] = None) -> SweepSummary:
     """Run every cell, in parallel when ``jobs > 1``, reusing ``cache``.
 
     Cache lookups and stores both happen in the parent, so workers stay
@@ -603,6 +638,10 @@ def run_sweep(specs: Sequence[CellSpec], jobs: int = 1,
     on the returned summary while every other cell's result survives.
     ``cell_timeout`` (seconds of wall clock per cell) requires process
     isolation and therefore applies when set even at ``jobs=1``.
+
+    ``trace_dir`` persists per-cell Chrome trace and profiler
+    artifacts (see :func:`simulate_cell`); cells served from the cache
+    are not re-traced.
     """
     started = time.perf_counter()
     results: List[Optional[CellResult]] = [None] * len(specs)
@@ -635,11 +674,13 @@ def run_sweep(specs: Sequence[CellSpec], jobs: int = 1,
 
     if misses and (jobs > 1 or cell_timeout is not None):
         _run_isolated(misses, jobs, validate_memory, max_events,
-                      cell_timeout, cell_retries, finish, fail)
+                      cell_timeout, cell_retries, finish, fail,
+                      trace_dir=trace_dir)
     else:
         for index, spec, key in misses:
             try:
-                payload = simulate_cell(spec, validate_memory, max_events)
+                payload = simulate_cell(spec, validate_memory, max_events,
+                                        trace_dir)
             except Exception as exc:
                 fail(spec, key, "error",
                      f"{type(exc).__name__}: {exc}", 1)

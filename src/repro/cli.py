@@ -27,9 +27,11 @@ from .analysis import (InvariantChecker, InvariantViolation, ResultCache,
                        format_figure, format_traffic_stack, grid_specs,
                        run_sweep, summarize_headline)
 from .faults import format_diagnostic
+from .obs import (format_timeline, load_chrome_trace,
+                  validate_chrome_trace, write_chrome_trace)
 from .sim.engine import SimulationError
-from .system import (CONFIG_ORDER, CONFIGS, FaultConfig, WatchdogConfig,
-                     build_system, scaled_config)
+from .system import (CONFIG_ORDER, CONFIGS, FaultConfig, TraceConfig,
+                     WatchdogConfig, build_system, scaled_config)
 from .workloads import (APPLICATIONS, MICROBENCHMARKS, load_workload,
                         save_workload)
 
@@ -73,6 +75,30 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-cycles", type=int, default=None,
                      help="hard simulated-cycle budget (raises instead "
                           "of looping forever)")
+    run.add_argument("--trace", action="store_true",
+                     help="record a protocol trace and print the "
+                          "transaction-profiler latency breakdown")
+    run.add_argument("--trace-filter", action="append", default=[],
+                     metavar="SPEC",
+                     help="restrict trace retention: addr=0x…, "
+                          "dev=name, class=kind; repeatable, '/' "
+                          "separates clauses (implies --trace)")
+    run.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write a Chrome/Perfetto trace-event JSON "
+                          "file; with --config all, one process per "
+                          "configuration (implies --trace)")
+    run.add_argument("--timeline", type=lambda v: int(v, 0),
+                     default=None, metavar="ADDR",
+                     help="print the per-address event timeline for "
+                          "this address (implies --trace)")
+    run.add_argument("--trace-limit", type=int, default=60,
+                     help="max rows in the --timeline print "
+                          "(default: 60)")
+    run.add_argument("--metrics-interval", type=int, default=0,
+                     metavar="CYCLES",
+                     help="sample StatsRegistry counters every N "
+                          "cycles into the trace's counter tracks "
+                          "(implies --trace)")
 
     for figure, workloads in (("figure2", MICROBENCHMARKS),
                               ("figure3", APPLICATIONS)):
@@ -108,7 +134,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-check", action="store_true",
                        help="skip final-memory validation against the "
                             "DRF reference executor")
+    sweep.add_argument("--trace-artifacts", default=None, metavar="DIR",
+                       help="persist a Chrome trace + profiler "
+                            "snapshot per simulated cell into DIR")
     _add_sweep_options(sweep)
+
+    trace = sub.add_parser(
+        "trace", help="inspect / validate a recorded Chrome trace file")
+    trace.add_argument("path")
+    trace.add_argument("--validate", action="store_true",
+                       help="exit non-zero if the file fails the "
+                            "structural checks")
 
     save = sub.add_parser("save", help="serialize a workload's traces")
     save.add_argument("workload", choices=sorted(ALL_WORKLOADS))
@@ -172,6 +208,9 @@ def _cmd_run(args) -> int:
             num_cpus=args.cpus, num_gpus=args.gpus,
             warps_per_cu=args.warps)
 
+    tracing = (args.trace or bool(args.trace_filter) or args.trace_out
+               or args.timeline is not None or args.metrics_interval > 0)
+
     def system_config(config_name: str):
         config = scaled_config(config_name, args.cpus, args.gpus)
         replacements = {}
@@ -180,6 +219,10 @@ def _cmd_run(args) -> int:
         if args.watchdog_cycles is not None:
             replacements["watchdog"] = WatchdogConfig(
                 stall_cycles=args.watchdog_cycles)
+        if tracing:
+            replacements["trace"] = TraceConfig(
+                filters=tuple(args.trace_filter),
+                metrics_interval=max(0, args.metrics_interval))
         if replacements:
             config = dataclasses.replace(config, **replacements)
         return config
@@ -193,6 +236,7 @@ def _cmd_run(args) -> int:
     if args.faults is not None:
         print(f"fault injection enabled (seed {args.faults})")
     failures = 0
+    trace_sections = []
     for config_name in configs:
         workload = fresh_workload()
         system = build_system(system_config(config_name))
@@ -215,6 +259,8 @@ def _cmd_run(args) -> int:
                 max_events=200_000_000, max_cycles=args.max_cycles)
             if checker is not None:
                 checker.audit(final=True)
+            if system.metrics is not None:
+                system.metrics.finalize(system.engine.now)
         except (SimulationError, InvariantViolation) as exc:
             # DeadlockError and budget exhaustion included: report and
             # dump rather than tracebacking out of the CLI
@@ -245,6 +291,26 @@ def _cmd_run(args) -> int:
             for cls, nbytes in sorted(
                     system.stats.group("traffic.bytes").items()):
                 print(f"      {cls:<12} {nbytes:>12,.0f} B")
+        if system.tracer is not None:
+            print(f"      trace: {system.tracer.kept:,} events kept "
+                  f"of {system.tracer.seen:,} seen")
+            if args.timeline is not None:
+                print(format_timeline(system.tracer.events(),
+                                      line=args.timeline,
+                                      limit=args.trace_limit))
+            if system.profiler is not None:
+                print(system.profiler.format_report(
+                    f"{config_name} latency breakdown"))
+            if args.trace_out:
+                section = {"name": config_name,
+                           "events": list(system.tracer.events())}
+                if system.metrics is not None:
+                    section["metrics"] = list(system.metrics.samples)
+                trace_sections.append(section)
+    if args.trace_out and trace_sections:
+        payload = write_chrome_trace(args.trace_out, trace_sections)
+        print(f"wrote {len(payload['traceEvents']):,} trace events "
+              f"({len(trace_sections)} process(es)) -> {args.trace_out}")
     return 1 if failures else 0
 
 
@@ -317,7 +383,8 @@ def _cmd_sweep(args) -> int:
     summary = run_sweep(specs, jobs=args.jobs, cache=_sweep_cache(args),
                         validate_memory=not args.no_check,
                         cell_timeout=args.cell_timeout,
-                        cell_retries=args.cell_retries)
+                        cell_retries=args.cell_retries,
+                        trace_dir=args.trace_artifacts)
     if args.json:
         json.dump(summary.to_json(), sys.stdout, indent=1,
                   sort_keys=True)
@@ -335,10 +402,56 @@ def _cmd_sweep(args) -> int:
     return 1 if bad_cells else 0
 
 
+def _cmd_trace(args) -> int:
+    try:
+        payload = load_chrome_trace(args.path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(payload)
+    events = payload.get("traceEvents", [])
+    processes = {}
+    kinds = {}
+    ts_lo = ts_hi = None
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        if event.get("ph") == "M":
+            if event.get("name") == "process_name":
+                processes[event.get("pid")] = \
+                    event.get("args", {}).get("name")
+            continue
+        cat = event.get("cat", event.get("ph"))
+        kinds[cat] = kinds.get(cat, 0) + 1
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            ts_lo = ts if ts_lo is None else min(ts_lo, ts)
+            ts_hi = ts if ts_hi is None else max(ts_hi, ts)
+    print(f"{args.path}: {len(events):,} trace events, "
+          f"{len(processes)} process(es)")
+    for pid in sorted(processes):
+        print(f"  pid {pid}: {processes[pid]}")
+    if ts_lo is not None:
+        print(f"  cycles {ts_lo:,.0f} .. {ts_hi:,.0f}")
+    for cat in sorted(kinds):
+        print(f"  {cat:<10} {kinds[cat]:>10,}")
+    if problems:
+        print(f"INVALID: {len(problems)} problem(s)", file=sys.stderr)
+        for problem in problems[:20]:
+            print(f"  {problem}", file=sys.stderr)
+        if args.validate:
+            return 1
+    elif args.validate:
+        print("valid Chrome trace")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "figure2":

@@ -140,6 +140,11 @@ class SpandexHome(Component):
         start = max(self.now, self._bank_free[bank])
         self._bank_free[bank] = start + self.bank_busy_cycles
         delay = (start - self.now) + self.access_latency
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.busy", self.name, line=msg.line,
+                          req_id=msg.req_id, dur=delay,
+                          info=msg.kind.value)
         self.schedule(delay, lambda: self._dispatch(msg),
                       label=f"home:{msg.kind.value}")
 
@@ -175,15 +180,23 @@ class SpandexHome(Component):
 
     def _defer(self, msg: Message) -> None:
         self.stats.incr("llc.deferred")
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.defer", self.name, line=msg.line,
+                          req_id=msg.req_id, info=msg.kind.value)
         self._deferred.setdefault(msg.line, []).append(msg)
 
     def _replay_deferred(self, line: int) -> None:
         queue = self._deferred.pop(line, None)
         if not queue:
             return
+        tracer = self.engine.tracer
         for msg in queue:
             # Re-enter through _process_request so still-blocked ones
             # re-defer in their original order.
+            if tracer is not None:
+                tracer.record("home.replay", self.name, line=msg.line,
+                              req_id=msg.req_id, info=msg.kind.value)
             self._process_request(msg)
 
     # ------------------------------------------------------------------
@@ -226,6 +239,10 @@ class SpandexHome(Component):
             return None
         self._fetching.add(msg.line)
         self.stats.incr("llc.fills")
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.fill", self.name, line=msg.line,
+                          req_id=msg.req_id, info=msg.kind.value)
         self._make_room(msg.line, lambda: self._backing_fetch(
             msg.line, lambda data: self._fill_complete(msg.line, data)))
         return None
@@ -236,6 +253,10 @@ class SpandexHome(Component):
             line_obj = self.array.install(line)
         if line_obj.state == HomeState.I:
             line_obj.state = HomeState.V
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("home.state", self.name, line=line,
+                              info="I->V fill")
         # Merge, never clobber: a racing local update (e.g. an atomic
         # that piggybacked on the same upstream grant at the GPU L2)
         # may already have dirtied words, and owned words' data fields
@@ -286,8 +307,16 @@ class SpandexHome(Component):
         self._txns[txn.txn_id] = txn
         self._block_words(line_obj, mask)
         line_obj.meta["sharers"] = set()
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.txn.begin", self.name,
+                          line=line_obj.line, req_id=txn.txn_id,
+                          info=f"{txn.kind} acks={len(targets)}")
         if line_obj.state == HomeState.S:
             line_obj.state = HomeState.V
+            if tracer is not None:
+                tracer.record("home.state", self.name,
+                              line=line_obj.line, info="S->V inv")
         for target in targets:
             self.stats.incr("llc.invalidations_sent")
             self.network.send(Message(
@@ -303,6 +332,11 @@ class SpandexHome(Component):
         txn.data_mask |= mask_union(by_owner)
         self._txns[txn.txn_id] = txn
         self._block_words(line_obj, mask)
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.txn.begin", self.name,
+                          line=line_obj.line, req_id=txn.txn_id,
+                          info=f"{txn.kind} owners={len(by_owner)}")
         for owner, owner_mask in sorted(by_owner.items()):
             self.stats.incr("llc.revokes_sent")
             self.network.send(Message(
@@ -332,6 +366,10 @@ class SpandexHome(Component):
 
     def _finish_txn(self, txn: HomeTxn) -> None:
         self._txns.pop(txn.txn_id, None)
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.txn.end", self.name, line=txn.line,
+                          req_id=txn.txn_id, info=txn.kind)
         line_obj = self.array.lookup(txn.line, touch=False)
         if line_obj is not None:
             # Unblock before on_complete so a retried request proceeds
@@ -376,6 +414,11 @@ class SpandexHome(Component):
             # Amplified owner-departed race (§III-C.3): reject the ReqV
             # and let the requestor's retry/escalation path recover.
             self.stats.incr("llc.forced_nacks")
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("home.nack", self.name, dst=msg.src,
+                              line=msg.line, req_id=msg.req_id,
+                              info="forced")
             self.network.send(Message(
                 MsgKind.NACK, msg.line, msg.mask, src=self.name,
                 dst=msg.src, req_id=msg.req_id))
@@ -423,7 +466,12 @@ class SpandexHome(Component):
         if plain:
             # Words up to date at the LLC: respond, record the sharer.
             self._sharers(line_obj).add(msg.src)
-            line_obj.state = HomeState.S
+            if line_obj.state != HomeState.S:
+                line_obj.state = HomeState.S
+                tracer = self.engine.tracer
+                if tracer is not None:
+                    tracer.record("home.state", self.name,
+                                  line=line_obj.line, info="V->S share")
             self._respond(msg, MsgKind.RSP_S, plain,
                           line_obj.read_data(plain))
         if owned:
@@ -580,9 +628,14 @@ class SpandexHome(Component):
                            grant_s: bool = False) -> None:
         if not mask:
             return
+        tracer = self.engine.tracer
         for owner, owner_mask in sorted(
                 self._group_by_owner(line_obj, mask).items()):
             self.stats.incr("llc.forwards")
+            if tracer is not None:
+                tracer.record("home.fwd", self.name, dst=owner,
+                              line=msg.line, req_id=msg.req_id,
+                              info=f"{kind.value} for {msg.src}")
             meta = {"grant_s": True} if grant_s else {}
             data = {}
             if kind == MsgKind.REQ_WT:

@@ -73,11 +73,21 @@ class TranslationUnit(Component):
 
     # -- outbound: device -> system ------------------------------------------
     def from_device(self, msg: Message) -> None:
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("tu.out", self.name, dst=msg.dst,
+                          line=msg.line, req_id=msg.req_id,
+                          dur=self.latency, info=msg.kind.value)
         self.schedule(self.latency, lambda: self.network.send(msg),
                       label="tu-out")
 
     # -- inbound: system -> device ------------------------------------------
     def receive(self, msg: Message) -> None:
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("tu.in", self.name, line=msg.line,
+                          req_id=msg.req_id, dur=self.latency,
+                          info=msg.kind.value)
         self.schedule(self.latency, lambda: self._handle(msg),
                       label="tu-in")
 
@@ -98,12 +108,22 @@ class TranslationUnit(Component):
             self.stats.incr("tu.nack_retries")
             self.stats.incr("tu.backoff_cycles", delay)
             self.stats.incr_group("tu.retries_by_device", self.name)
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("tu.retry", self.name, line=msg.line,
+                              req_id=msg.req_id, dur=delay,
+                              info=f"attempt={attempts + 1}")
             self.schedule(delay, lambda: self.network.send(Message(
                 MsgKind.REQ_V, msg.line, msg.mask, src=self.name,
                 dst=self.l1.home, req_id=msg.req_id)),
                 label="nack-backoff")
             return
         self._retries.pop(msg.req_id, None)
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("tu.escalate", self.name, line=msg.line,
+                          req_id=msg.req_id,
+                          info=f"after {attempts} retries")
         self._escalate(msg)
 
     def _escalate(self, msg: Message) -> None:
@@ -213,6 +233,12 @@ class MESITU(TranslationUnit):
         elif msg.kind == MsgKind.REQ_V:
             # stable state other than expected: Nack, requestor retries
             self.stats.incr("tu.nacks_sent")
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("tu.nack", self.name,
+                              dst=msg.requestor or msg.src,
+                              line=msg.line, req_id=msg.req_id,
+                              info=f"owner departed ({state})")
             self.network.send(Message(
                 MsgKind.NACK, msg.line, msg.mask, src=self.name,
                 dst=msg.requestor or msg.src, req_id=msg.req_id))
@@ -309,6 +335,11 @@ class MESITU(TranslationUnit):
                       dst=self.l1.home, data=values)
         self._own_req_lines[msg.req_id] = line
         self.stats.incr("tu.partial_writebacks")
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("tu.wb", self.name, dst=self.l1.home,
+                          line=line, req_id=msg.req_id,
+                          info=f"mask=0x{mask:04x}")
         self.network.send(msg)
 
     def _tu_wb_complete(self, msg: Message) -> None:

@@ -20,6 +20,9 @@ from typing import Dict, List, Optional
 #: cap on how many implicated cache lines get a full state cross-section
 MAX_LINES_DUMPED = 16
 
+#: trace events quoted in a dump when the run was traced
+TRACE_TAIL_EVENTS = 50
+
 
 def _l1s(system) -> List:
     return list(getattr(system, "cpu_l1s", [])) + \
@@ -159,8 +162,9 @@ def collect_diagnostic(system, reason: str,
         diag["network"] = [
             {"delivery": time, "msg": repr(msg)}
             for time, msg in network.in_flight()]
+    implicated = _implicated_lines(system, stalled)
     lines: Dict[str, Dict[str, object]] = {}
-    for line in _implicated_lines(system, stalled):
+    for line in implicated:
         cross: Dict[str, object] = {}
         for holder in _l1s(system) + _homes(system):
             array = getattr(holder, "array", None)
@@ -171,6 +175,13 @@ def collect_diagnostic(system, reason: str,
                 cross[holder.name] = _line_view(resident)
         lines[f"0x{line:x}"] = cross
     diag["lines"] = lines
+    tracer = getattr(engine, "tracer", None)
+    if tracer is not None:
+        # The last trace events touching the implicated lines (or the
+        # plain ring tail when nothing is implicated): how we got here.
+        tail = tracer.tail(TRACE_TAIL_EVENTS,
+                           lines=set(implicated) or None)
+        diag["trace_tail"] = [event.to_dict() for event in tail]
     return diag
 
 
@@ -224,4 +235,15 @@ def format_diagnostic(diag: Dict[str, object]) -> str:
                          f"words={view['words']} "
                          f"owners={view['owners']} "
                          f"blocked=0x{view['blocked_mask']:04x}")
+    tail = diag.get("trace_tail", [])
+    if tail:
+        lines.append(f"  last {len(tail)} trace events on implicated "
+                     "lines:")
+        for event in tail:
+            detail = " ".join(
+                f"{key}={event[key]}" for key in
+                ("line", "dst", "req_id", "class", "hop", "dur", "info")
+                if key in event)
+            lines.append(f"    t={event['ts']} {event['src']} "
+                         f"{event['kind']} {detail}")
     return "\n".join(lines)

@@ -57,6 +57,9 @@ class MainMemory(Component):
         self.stats.incr("dram.reads")
         self.stats.incr("dram.read_bytes", 64)
         delay = self._bank_delay(line)
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("dram.fetch", self.name, line=line, dur=delay)
         data = dict(enumerate(self._line(line)))
         self.schedule(delay, lambda: callback(data), label="fetch")
 
@@ -65,6 +68,10 @@ class MainMemory(Component):
         """Write masked words; functional effect is immediate."""
         self.stats.incr("dram.writes")
         self.stats.incr("dram.write_bytes", 4 * len(values))
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("dram.wb", self.name, line=line,
+                          info=f"words={len(values)}")
         data = self._line(line)
         for index in iter_mask(mask):
             if index in values:

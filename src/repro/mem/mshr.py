@@ -40,6 +40,10 @@ class MSHRFile(Generic[T]):
         self.capacity = capacity
         self.clock = clock
         self._entries: Dict[int, MSHREntry[T]] = {}
+        #: optional trace recorder + owning cache name, attached by the
+        #: owning controller when the system is built with tracing on
+        self.tracer = None
+        self.owner = ""
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,6 +66,10 @@ class MSHRFile(Generic[T]):
         now = self.clock() if self.clock is not None else 0
         entry = MSHREntry(line, primary, allocated_at=now)
         self._entries[line] = entry
+        if self.tracer is not None:
+            self.tracer.record(
+                "mshr.alloc", self.owner, line=line,
+                info=f"{len(self._entries)}/{self.capacity}")
         return entry
 
     def attach(self, line: int, secondary: T) -> MSHREntry[T]:
@@ -73,6 +81,12 @@ class MSHRFile(Generic[T]):
         entry = self._entries.pop(line, None)
         if entry is None:
             raise RuntimeError(f"releasing absent MSHR 0x{line:x}")
+        if self.tracer is not None:
+            now = self.clock() if self.clock is not None else 0
+            self.tracer.record(
+                "mshr.free", self.owner, line=line,
+                dur=now - entry.allocated_at,
+                info=f"{len(self._entries)}/{self.capacity}")
         return entry
 
     def drain(self, visit: Callable[[MSHREntry[T]], None]) -> None:

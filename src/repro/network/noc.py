@@ -117,8 +117,20 @@ class Network:
         while self._in_flight and self._in_flight[0][0] < now:
             self._in_flight.popleft()
         self._in_flight.append((delivery, msg))
+        tracer = self.engine.tracer
+        if tracer is None:
+            deliver = lambda m=msg, t=target: t.receive(m)  # noqa: E731
+        else:
+            # The hop's flight time is fully determined here, so the
+            # send event is recorded as a span and delivery rides the
+            # same scheduled callback — tracing adds no engine events.
+            tracer.message_sent(msg, now, delivery)
+
+            def deliver(m=msg, t=target, tr=tracer):
+                tr.message_delivered(m)
+                t.receive(m)
         self.engine.schedule_at(
-            delivery, lambda m=msg, t=target: t.receive(m),
+            delivery, deliver,
             label=f"net:{msg.kind.value}->{msg.dst}")
 
     def in_flight(self) -> List[Tuple[int, Message]]:

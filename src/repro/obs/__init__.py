@@ -1,0 +1,36 @@
+"""Observability: protocol tracing, transaction profiling, exporters.
+
+The subsystem has three layers, all strictly passive — nothing in this
+package ever schedules engine events, so enabling a trace can never
+change cycle counts, event counts, or final memory:
+
+* :mod:`repro.obs.trace` — a bounded ring buffer of typed
+  :class:`TraceEvent` records fed by trace points threaded through the
+  network, homes, TUs, L1 protocols, MSHRs and DRAM.  Components reach
+  the recorder through ``self.engine.tracer`` (``None`` when tracing is
+  off, which keeps the disabled hot path to a single attribute test).
+* :mod:`repro.obs.profile` — a :class:`TransactionProfiler` sink that
+  stitches events into per-request lifecycles keyed by ``req_id`` and
+  attributes latency to stages (issue queue, network, indirection /
+  forward hops, home occupancy, blocking).
+* :mod:`repro.obs.export` / :mod:`repro.obs.metrics` — Chrome/Perfetto
+  trace-event JSON, a human-readable per-address timeline, and periodic
+  epoch snapshots of the :class:`~repro.sim.stats.StatsRegistry`.
+"""
+
+from .export import (chrome_trace_events, format_timeline,
+                     load_chrome_trace, validate_chrome_trace,
+                     write_chrome_trace)
+from .metrics import MetricsTimeSeries
+from .profile import STAGES, TransactionProfiler
+from .trace import (INDIRECTION_HOPS, TraceEvent, TraceFilter,
+                    TraceRecorder, hop_class)
+
+__all__ = [
+    "TraceEvent", "TraceFilter", "TraceRecorder", "hop_class",
+    "INDIRECTION_HOPS",
+    "TransactionProfiler", "STAGES",
+    "MetricsTimeSeries",
+    "chrome_trace_events", "write_chrome_trace", "load_chrome_trace",
+    "validate_chrome_trace", "format_timeline",
+]

@@ -1,0 +1,63 @@
+"""Periodic epoch snapshots of the stats registry as a time series.
+
+:class:`MetricsTimeSeries` is a recorder *sink*: instead of scheduling
+engine events (which would perturb event counts and break the
+tracing-is-passive invariant), it piggybacks on the trace stream and
+takes a counter snapshot the first time an event's timestamp crosses
+each epoch boundary.  Sample timestamps are therefore event
+timestamps — at most one sample per epoch, taken at the first activity
+on or after the boundary — which keeps the series deterministic and
+the simulation untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..sim.stats import StatsRegistry
+from .trace import TraceEvent
+
+
+class MetricsTimeSeries:
+    """Counter snapshots every ``interval`` cycles (event-driven)."""
+
+    def __init__(self, stats: StatsRegistry, interval: int):
+        self.stats = stats
+        self.interval = max(1, int(interval))
+        #: (timestamp, {counter: value}) samples, oldest first
+        self.samples: List[Tuple[int, Dict[str, float]]] = []
+        self._next_due = self.interval
+
+    # -- sink protocol -----------------------------------------------------
+    def __call__(self, event: TraceEvent) -> None:
+        if event.ts >= self._next_due:
+            self.sample_at(event.ts)
+
+    def sample_at(self, ts: int) -> None:
+        self.samples.append((ts, dict(self.stats.counters())))
+        # Skip empty epochs: the next boundary is the first multiple of
+        # the interval strictly after ``ts``.
+        self._next_due = (ts // self.interval + 1) * self.interval
+
+    def finalize(self, now: int) -> None:
+        """Record the end-of-run state (idempotent per timestamp)."""
+        if not self.samples or self.samples[-1][0] < now:
+            self.sample_at(now)
+
+    # -- inspection --------------------------------------------------------
+    def counter_series(self, name: str) -> List[Tuple[int, float]]:
+        return [(ts, counters.get(name, 0.0))
+                for ts, counters in self.samples]
+
+    def counter_names(self) -> List[str]:
+        names = set()
+        for _, counters in self.samples:
+            names.update(counters)
+        return sorted(names)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "interval": self.interval,
+            "samples": [{"ts": ts, "counters": dict(counters)}
+                        for ts, counters in self.samples],
+        }

@@ -1,0 +1,214 @@
+"""Transaction profiler: stitch trace events into request lifecycles.
+
+The profiler is a recorder *sink*: it observes every trace event (the
+ring filter does not apply to sinks) and correlates them by ``req_id``,
+which is globally unique per request and preserved across forwards and
+responses.  A transaction opens at ``l1.issue`` (the L1 starts tracking
+an outstanding request) and closes at ``l1.complete`` (the last partial
+response folded in).
+
+Latency is attributed to stages:
+
+``issue``
+    from issue to the request's first network hop (TU latency, store
+    buffer and bank queuing before the wire).
+``network``
+    flight time of direct hops (device <-> home requests/responses).
+``indirection``
+    flight time of ``fwd`` and ``level`` hops — home-forwarded
+    requests and hierarchical level traversals (the paper's Figure 1
+    indirection cost).
+``fwd_rsp``
+    flight time of direct owner -> requestor responses (Spandex's
+    short-circuit path).
+``probe``
+    invalidation / revocation traffic attributed to the transaction.
+``home``
+    home-node occupancy (bank queuing + access latency) for the
+    transaction's messages.
+``blocked``
+    time the request sat deferred at a home behind a blocking
+    transient.
+``other``
+    the unattributed residual of end-to-end latency.
+
+Multi-hop / multi-responder requests overlap stages in wall-clock time,
+so per-stage sums may exceed the end-to-end total; ``other`` clamps at
+zero.  Breakdowns are kept per originating device and, independently,
+per message traffic class x hop class.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from ..sim.stats import LatencySampler
+from .trace import INDIRECTION_HOPS, TraceEvent
+
+#: attribution stages, in report order
+STAGES = ("issue", "network", "indirection", "fwd_rsp", "probe",
+          "home", "blocked", "other")
+
+_HOP_STAGE = {"fwd": "indirection", "level": "indirection",
+              "fwd_rsp": "fwd_rsp", "probe": "probe",
+              "direct": "network"}
+
+
+class _Txn:
+    __slots__ = ("origin", "line", "purpose", "start", "first_send",
+                 "stages", "defer_starts")
+
+    def __init__(self, origin: str, line: Optional[int], purpose: str,
+                 start: int):
+        self.origin = origin
+        self.line = line
+        self.purpose = purpose
+        self.start = start
+        self.first_send: Optional[int] = None
+        self.stages: Dict[str, float] = {}
+        self.defer_starts: List[int] = []
+
+    def accrue(self, stage: str, amount: float) -> None:
+        self.stages[stage] = self.stages.get(stage, 0.0) + amount
+
+
+class TransactionProfiler:
+    """Per-request latency attribution (see module docstring)."""
+
+    def __init__(self):
+        self._open: Dict[int, _Txn] = {}
+        self.completed = 0
+        #: end-to-end latency distributions per purpose (load/store/...)
+        self.sampler = LatencySampler()
+        self.stage_totals: Dict[str, float] = defaultdict(float)
+        self.by_device: Dict[str, Dict[str, float]] = \
+            defaultdict(lambda: defaultdict(float))
+        #: traffic class -> hop class -> total flight cycles (all
+        #: messages, matched to a transaction or not)
+        self.by_class: Dict[str, Dict[str, float]] = \
+            defaultdict(lambda: defaultdict(float))
+        #: home name -> occupancy cycles
+        self.home_busy: Dict[str, float] = defaultdict(float)
+        #: DRAM fetch cycles (overlaps `blocked`; reported separately)
+        self.dram_cycles = 0.0
+
+    # -- sink protocol -----------------------------------------------------
+    def __call__(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == "net.send":
+            self._on_send(event)
+        elif kind == "home.busy":
+            self.home_busy[event.src] += event.dur
+            txn = self._open.get(event.req_id)
+            if txn is not None:
+                txn.accrue("home", event.dur)
+        elif kind == "home.defer":
+            txn = self._open.get(event.req_id)
+            if txn is not None:
+                txn.defer_starts.append(event.ts)
+        elif kind == "home.replay":
+            txn = self._open.get(event.req_id)
+            if txn is not None and txn.defer_starts:
+                txn.accrue("blocked", event.ts - txn.defer_starts.pop())
+        elif kind == "l1.issue":
+            self._open[event.req_id] = _Txn(
+                event.src, event.line, event.info or "?", event.ts)
+        elif kind == "l1.complete":
+            self._finish(event)
+        elif kind == "dram.fetch":
+            self.dram_cycles += event.dur
+
+    def _on_send(self, event: TraceEvent) -> None:
+        if event.cls is not None:
+            hop = event.hop or "direct"
+            self.by_class[event.cls][hop] += event.dur
+        txn = self._open.get(event.req_id)
+        if txn is None:
+            return
+        if txn.first_send is None:
+            txn.first_send = event.ts
+        txn.accrue(_HOP_STAGE.get(event.hop or "direct", "network"),
+                   event.dur)
+
+    def _finish(self, event: TraceEvent) -> None:
+        txn = self._open.pop(event.req_id, None)
+        if txn is None:
+            return
+        total = event.ts - txn.start
+        if txn.first_send is not None:
+            txn.accrue("issue", txn.first_send - txn.start)
+        attributed = sum(txn.stages.values())
+        txn.accrue("other", max(0.0, total - attributed))
+        self.completed += 1
+        self.sampler.sample(f"txn.{txn.purpose}", total)
+        device = self.by_device[txn.origin]
+        device["count"] += 1
+        device["total"] += total
+        for stage, value in txn.stages.items():
+            device[stage] += value
+            self.stage_totals[stage] += value
+
+    # -- results -----------------------------------------------------------
+    def open_transactions(self) -> int:
+        return len(self._open)
+
+    def indirection_cycles(self) -> float:
+        """Total flight cycles spent on indirection hops (all traffic)."""
+        return sum(hops.get(hop, 0.0)
+                   for hops in self.by_class.values()
+                   for hop in INDIRECTION_HOPS)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe copy of every breakdown."""
+        return {
+            "completed": self.completed,
+            "open": len(self._open),
+            "stage_totals": dict(self.stage_totals),
+            "by_device": {dev: dict(stages)
+                          for dev, stages in self.by_device.items()},
+            "by_class": {cls: dict(hops)
+                         for cls, hops in self.by_class.items()},
+            "home_busy": dict(self.home_busy),
+            "dram_cycles": self.dram_cycles,
+            "indirection_cycles": self.indirection_cycles(),
+            "latency": self.sampler.snapshot(),
+        }
+
+    def format_report(self, title: str = "transaction profile") -> str:
+        """Human-readable per-device and per-class breakdown."""
+        lines = [f"== {title} =="]
+        lines.append(f"  transactions completed: {self.completed}"
+                     + (f"  (open: {len(self._open)})" if self._open
+                        else ""))
+        header = (f"  {'device':<12} {'txns':>6} {'avg':>8} "
+                  + " ".join(f"{s:>8}" for s in STAGES))
+        lines.append(header)
+        for dev in sorted(self.by_device):
+            stages = self.by_device[dev]
+            count = stages.get("count", 0) or 1
+            row = (f"  {dev:<12} {int(stages.get('count', 0)):>6} "
+                   f"{stages.get('total', 0.0) / count:>8.1f} "
+                   + " ".join(f"{stages.get(s, 0.0) / count:>8.1f}"
+                              for s in STAGES))
+            lines.append(row)
+        lines.append("  (per-transaction average cycles per stage; "
+                     "overlapping stages may sum past avg)")
+        lines.append("  [message-class x hop flight cycles]")
+        for cls in sorted(self.by_class):
+            hops = self.by_class[cls]
+            detail = " ".join(f"{hop}={hops[hop]:,.0f}"
+                              for hop in sorted(hops))
+            lines.append(f"    {cls:<12} {detail}")
+        lines.append(f"  indirection cycles: "
+                     f"{self.indirection_cycles():,.0f}")
+        lines.append(f"  dram fetch cycles (overlapped): "
+                     f"{self.dram_cycles:,.0f}")
+        for label in sorted(self.sampler.labels()):
+            lines.append(
+                f"  {label:<16} n={self.sampler.count(label):<7} "
+                f"mean={self.sampler.mean(label):8.1f} "
+                f"p50={self.sampler.percentile(label, 50):8.1f} "
+                f"p95={self.sampler.percentile(label, 95):8.1f} "
+                f"p99={self.sampler.percentile(label, 99):8.1f}")
+        return "\n".join(lines)

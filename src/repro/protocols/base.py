@@ -106,6 +106,10 @@ class L1Controller(Component):
         self.home = home
         self.mshrs: MSHRFile = MSHRFile(mshr_entries,
                                         clock=lambda: engine.now)
+        # the MSHR file has no engine reference of its own; hand it the
+        # recorder (None when tracing is off) so alloc/free are traced
+        self.mshrs.tracer = engine.tracer
+        self.mshrs.owner = name
         self.store_buffer = StoreBuffer(store_buffer_words)
         self.hit_latency = hit_latency
         self._pending_writes = 0
@@ -204,6 +208,10 @@ class L1Controller(Component):
             remaining if remaining is not None else msg.mask,
             issued_at=self.now)
         self._inflight[msg.req_id] = inflight
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("l1.issue", self.name, line=msg.line,
+                          req_id=msg.req_id, info=purpose)
         return inflight
 
     def _fold_response(self, msg: Message) -> bool:
@@ -227,6 +235,12 @@ class L1Controller(Component):
         inflight.remaining &= ~msg.mask
         if inflight.remaining == 0:
             del self._inflight[msg.req_id]
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("l1.complete", self.name,
+                              line=inflight.line, req_id=inflight.req_id,
+                              dur=self.now - inflight.issued_at,
+                              info=inflight.purpose)
             self._request_complete(inflight)
         return True
 

@@ -191,6 +191,11 @@ class DeNovoL1(L1Controller):
         invalidated — the DeNovo regions optimization that preserves
         reuse in data software knows cannot be stale (paper §II-C)."""
         self.count("flash_invalidations")
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("l1.state", self.name,
+                          info="flash self-invalidate"
+                               + (" (regions)" if regions else ""))
         inside = self._region_filter(regions)
         for line_obj in list(self.array.lines()):
             if not inside(line_obj.line):
@@ -334,6 +339,10 @@ class DeNovoL1(L1Controller):
             if index in data:
                 line_obj.data[index] = data[index]
                 line_obj.word_states[index] = state
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("l1.state", self.name, line=line,
+                          info=f"->{state.value} mask=0x{mask:04x}")
         return line_obj
 
     def _finish_load(self, inflight: Inflight) -> None:
@@ -424,6 +433,10 @@ class DeNovoL1(L1Controller):
         line_obj = self.array.lookup(line, touch=False)
         if line_obj is None:
             return
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("l1.state", self.name, line=line,
+                          info=f"O->I mask=0x{mask:04x}")
         for index in iter_mask(mask):
             if line_obj.word_states[index] == DnState.O:
                 line_obj.word_states[index] = DnState.I

@@ -128,6 +128,11 @@ class GPUCoherenceL1(L1Controller):
         """Flash-invalidate Valid lines (single-cycle operation);
         ``regions`` restricts the flash to the given byte ranges."""
         self.count("flash_invalidations")
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("l1.state", self.name,
+                          info="flash self-invalidate"
+                               + (" (regions)" if regions else ""))
         inside = self._region_filter(regions)
         for line_obj in list(self.array.lines()):
             if not line_obj.pinned and inside(line_obj.line):
@@ -202,6 +207,10 @@ class GPUCoherenceL1(L1Controller):
                     self.array.evict(victim.line)  # clean: write-through
                 line_obj = self.array.install(inflight.line)
             line_obj.state = GpuState.V
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("l1.state", self.name, line=inflight.line,
+                              req_id=inflight.req_id, info="->V fill")
             for index, value in inflight.data.items():
                 line_obj.data[index] = value
             # our own buffered stores are younger than the fill

@@ -102,6 +102,11 @@ class GPUL2(SpandexHome):
             "req_id": msg.req_id, "invalidated": False,
         }
         self.stats.incr(f"l2.upstream_{purpose}")
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("l2.up_req", self.name, dst=self.l3_name,
+                          line=line, req_id=msg.req_id,
+                          info=f"{msg.kind.value} {purpose}")
         self.network.send(msg)
 
     # ------------------------------------------------------------------
@@ -128,6 +133,10 @@ class GPUL2(SpandexHome):
         line_obj = self.array.lookup(msg.line, touch=False)
         state = {MsgKind.DATA_S: "S", MsgKind.DATA_E: "E",
                  MsgKind.DATA_M: "M"}[msg.kind]
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("l2.up_state", self.name, line=msg.line,
+                          req_id=msg.req_id, info=f"->{state} grant")
         if line_obj is not None:
             self._set_up_state(line_obj, state)
             # refresh words that are neither L1-owned nor locally dirty
@@ -246,6 +255,10 @@ class GPUL2(SpandexHome):
         up = self._up_state(victim)
         if up in ("M", "E"):
             self.stats.incr("l2.putm")
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("l2.up_state", self.name, dst=self.l3_name,
+                              line=victim.line, info=f"{up}->I putm")
             self.network.send(Message(
                 MsgKind.PUT_M, victim.line, FULL_LINE_MASK, src=self.name,
                 dst=self.l3_name, data=victim.read_data(FULL_LINE_MASK),

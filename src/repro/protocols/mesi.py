@@ -285,6 +285,12 @@ class MESIL1(L1Controller):
             line_obj.state = MesiState.E
         else:
             line_obj.state = MesiState.M
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("l1.state", self.name, line=line,
+                          req_id=inflight.req_id,
+                          info=f"->{line_obj.state.value} "
+                               f"{inflight.purpose}")
         if inflight.purpose == "store":
             sb_entry = self.store_buffer.complete(inflight.meta["sb_line"])
             line_obj.write_data(sb_entry.mask, sb_entry.values)
@@ -380,6 +386,10 @@ class MESIL1(L1Controller):
         line_obj = self.array.lookup(msg.line, touch=False)
         if line_obj is not None and line_obj.state == MesiState.S:
             self.array.evict(msg.line)
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("l1.state", self.name, line=msg.line,
+                              req_id=msg.req_id, info="S->I inv")
         ack_kind = (MsgKind.MESI_INV_ACK if msg.kind == MsgKind.MESI_INV
                     else MsgKind.ACK)
         self.send(Message(ack_kind, msg.line, msg.mask, src=self.name,
@@ -417,10 +427,15 @@ class MESIL1(L1Controller):
             raise SimulationError(
                 f"{self.name}: downgrade of absent 0x{line:x}")
         data = line_obj.read_data(FULL_LINE_MASK)
+        previous = line_obj.state.value
         if to == "S":
             line_obj.state = MesiState.S
         else:
             self.array.evict(line)
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("l1.state", self.name, line=line,
+                          info=f"{previous}->{to} probe")
         return data
 
     def probe_after_grant(self, line: int, fn: Callable[[], None]) -> None:

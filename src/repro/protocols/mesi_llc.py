@@ -77,6 +77,11 @@ class MESIDirectoryLLC(Component):
         start = max(self.now, self._bank_free[bank])
         self._bank_free[bank] = start + self.bank_busy_cycles
         delay = (start - self.now) + self.access_latency
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.busy", self.name, line=msg.line,
+                          req_id=msg.req_id, dur=delay,
+                          info=msg.kind.value)
         self.schedule(delay, lambda: self._dispatch(msg),
                       label=f"dir:{msg.kind.value}")
 
@@ -107,13 +112,21 @@ class MESIDirectoryLLC(Component):
 
     def _defer(self, msg: Message) -> None:
         self.stats.incr("llc.deferred")
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.defer", self.name, line=msg.line,
+                          req_id=msg.req_id, info=msg.kind.value)
         self._deferred.setdefault(msg.line, []).append(msg)
 
     def _replay(self, line: int) -> None:
         queue = self._deferred.pop(line, None)
         if not queue:
             return
+        tracer = self.engine.tracer
         for msg in queue:
+            if tracer is not None:
+                tracer.record("home.replay", self.name, line=msg.line,
+                              req_id=msg.req_id, info=msg.kind.value)
             self._process(msg)
 
     # -- owner pinning ------------------------------------------------------
@@ -141,6 +154,10 @@ class MESIDirectoryLLC(Component):
             return None
         self._fetching.add(msg.line)
         self.stats.incr("llc.fills")
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.fill", self.name, line=msg.line,
+                          req_id=msg.req_id)
         self._make_room(msg.line, lambda: self.dram.fetch(
             msg.line, lambda data: self._fill_complete(msg.line, data)))
         return None
@@ -152,6 +169,10 @@ class MESIDirectoryLLC(Component):
         line_obj.state = DirState.V
         line_obj.data = [data.get(i, 0) for i in range(16)]
         line_obj.meta["dirty"] = False
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.state", self.name, line=line,
+                          info="I->V fill")
         self._fetching.discard(line)
         self._replay(line)
 
@@ -173,6 +194,11 @@ class MESIDirectoryLLC(Component):
             txn.acks_needed = len(targets)
             self._txns[txn.txn_id] = txn
             victim.meta["sharers"] = set()
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("home.txn.begin", self.name,
+                              line=victim.line, req_id=txn.txn_id,
+                              info=f"evict-inv acks={len(targets)}")
             for target in targets:
                 self.stats.incr("llc.invalidations_sent")
                 self.network.send(Message(
@@ -212,6 +238,10 @@ class MESIDirectoryLLC(Component):
         if txn.done:
             self._txns.pop(txn.txn_id, None)
             self._unblock(txn.line)
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("home.txn.end", self.name, line=txn.line,
+                              req_id=txn.txn_id)
             txn.on_complete(txn)
             self._replay(txn.line)
 
@@ -233,14 +263,23 @@ class MESIDirectoryLLC(Component):
             self._handle_getm(msg, line_obj)
 
     def _handle_gets(self, msg: Message, line_obj: CacheLine) -> None:
+        tracer = self.engine.tracer
         if line_obj.state == DirState.V:
             # exclusive grant when no other copies exist (MESI E)
             self._set_owner(line_obj, msg.src)
             line_obj.state = DirState.M
+            if tracer is not None:
+                tracer.record("home.state", self.name, line=msg.line,
+                              req_id=msg.req_id,
+                              info=f"V->M grant E {msg.src}")
             self._respond(msg, MsgKind.DATA_E,
                           line_obj.read_data(FULL_LINE_MASK))
         elif line_obj.state == DirState.S:
             self._sharers(line_obj).add(msg.src)
+            if tracer is not None:
+                tracer.record("home.state", self.name, line=msg.line,
+                              req_id=msg.req_id,
+                              info=f"S share +{msg.src}")
             self._respond(msg, MsgKind.DATA_S,
                           line_obj.read_data(FULL_LINE_MASK))
         else:  # M: blocking forward to the owner
@@ -252,6 +291,10 @@ class MESIDirectoryLLC(Component):
             self._txns[txn.txn_id] = txn
             self._block(line_obj)
             self.stats.incr("llc.forwards")
+            if tracer is not None:
+                tracer.record("home.txn.begin", self.name, line=msg.line,
+                              req_id=txn.txn_id,
+                              info=f"fwd-gets owner={owner}")
             self.network.send(Message(
                 MsgKind.FWD_GET_S, msg.line, FULL_LINE_MASK, src=self.name,
                 dst=owner, req_id=msg.req_id, requestor=msg.src,
@@ -262,6 +305,10 @@ class MESIDirectoryLLC(Component):
         self._set_owner(line_obj, None)
         line_obj.state = DirState.S
         self._sharers(line_obj).update({msg.src, owner})
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.state", self.name, line=msg.line,
+                          req_id=msg.req_id, info="M->S demote")
 
     def _handle_getm(self, msg: Message, line_obj: CacheLine) -> None:
         if line_obj.state == DirState.V:
@@ -278,6 +325,11 @@ class MESIDirectoryLLC(Component):
             self._txns[txn.txn_id] = txn
             self._block(line_obj)
             line_obj.meta["sharers"] = set()
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("home.txn.begin", self.name, line=msg.line,
+                              req_id=txn.txn_id,
+                              info=f"getm-inv acks={len(sharers)}")
             for target in sorted(sharers):
                 self.stats.incr("llc.invalidations_sent")
                 self.network.send(Message(
@@ -294,6 +346,11 @@ class MESIDirectoryLLC(Component):
             self._txns[txn.txn_id] = txn
             self._block(line_obj)
             self.stats.incr("llc.forwards")
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("home.txn.begin", self.name, line=msg.line,
+                              req_id=txn.txn_id,
+                              info=f"fwd-getm owner={owner}")
             self.network.send(Message(
                 MsgKind.FWD_GET_M, msg.line, FULL_LINE_MASK, src=self.name,
                 dst=owner, req_id=msg.req_id, requestor=msg.src,
@@ -305,6 +362,11 @@ class MESIDirectoryLLC(Component):
             pass
         self._set_owner(line_obj, msg.src)
         line_obj.state = DirState.M
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.state", self.name, line=msg.line,
+                          req_id=msg.req_id,
+                          info=f"->M grant {msg.src}")
         self._respond(msg, MsgKind.DATA_M,
                       line_obj.read_data(FULL_LINE_MASK))
 
@@ -312,6 +374,11 @@ class MESIDirectoryLLC(Component):
         # data went owner -> requestor directly
         self._set_owner(line_obj, msg.src)
         line_obj.state = DirState.M
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.state", self.name, line=msg.line,
+                          req_id=msg.req_id,
+                          info=f"M->M owner={msg.src}")
 
     def _handle_putm(self, msg: Message) -> None:
         line_obj = self.array.lookup(msg.line)
@@ -321,6 +388,10 @@ class MESIDirectoryLLC(Component):
             line_obj.meta["dirty"] = True
             self._set_owner(line_obj, None)
             line_obj.state = DirState.V
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("home.state", self.name, line=msg.line,
+                              req_id=msg.req_id, info="M->V putm")
         else:
             self.stats.incr("llc.stale_writebacks")
         self.network.send(Message(

@@ -68,6 +68,13 @@ class Engine:
         #: watchdog installs its quiescence check here so a dropped
         #: message raises instead of returning a truncated run.
         self.stall_check: Optional[Callable[[], None]] = None
+        #: optional :class:`repro.obs.TraceRecorder`.  Components reach
+        #: it as ``self.engine.tracer`` and must guard every trace
+        #: point with ``is not None`` — when unset (the default) the
+        #: hot path pays one attribute load and nothing else, and the
+        #: recorder itself never schedules events, so tracing cannot
+        #: perturb the simulation.
+        self.tracer = None
 
     @property
     def now(self) -> int:

@@ -4,12 +4,19 @@ A :class:`StatsRegistry` aggregates named counters and grouped counters
 (e.g. network bytes broken down by message class, as in the paper's
 Figures 2 and 3 traffic stacks).  Components hold references to the same
 registry, so a system-wide report is a single object.
+
+:class:`LatencySampler` keeps streaming (count/sum/min/max) moments per
+label plus a fixed geometric histogram (power-of-two buckets), which
+gives p50/p95/p99 estimates that merge exactly across sweep worker
+processes — averages alone hide the tail behaviour the paper's latency
+arguments rest on.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from math import ceil
+from typing import Dict, Iterable, Mapping, Sequence
 
 
 class StatsRegistry:
@@ -56,10 +63,20 @@ class StatsRegistry:
                 self._groups[group][key] += value
 
     def snapshot(self) -> Dict[str, object]:
-        """A plain-dict copy suitable for JSON or diffing."""
+        """A deep plain-dict copy suitable for JSON or diffing.
+
+        Every container is a freshly built ``dict`` with sorted keys
+        and ``float`` values — no live ``defaultdict`` (or reference
+        into this registry) ever escapes, so mutating a snapshot can
+        never corrupt the registry and two snapshots of equal state
+        serialize identically.
+        """
         return {
-            "counters": dict(self._counters),
-            "groups": {g: dict(k) for g, k in self._groups.items()},
+            "counters": {name: float(self._counters[name])
+                         for name in sorted(self._counters)},
+            "groups": {group: {key: float(keys[key])
+                               for key in sorted(keys)}
+                       for group, keys in sorted(self._groups.items())},
         }
 
     @classmethod
@@ -69,6 +86,7 @@ class StatsRegistry:
         The registry itself is not picklable (its grouped counters use
         a lambda-backed defaultdict), so worker processes ship snapshots
         and the parent rebuilds them here before :meth:`merge`-ing.
+        Round-trips exactly: ``from_snapshot(s).snapshot() == s``.
         """
         registry = cls()
         for name, value in payload.get("counters", {}).items():
@@ -79,31 +97,62 @@ class StatsRegistry:
         return registry
 
     def format_table(self, title: str = "stats") -> str:
-        """Human-readable dump, sorted for stable output."""
+        """Human-readable dump, sorted for stable output.
+
+        Renders from a :meth:`snapshot` so formatting can never touch
+        (or, via defaultdict access, grow) the live containers.
+        """
+        snap = self.snapshot()
         lines = [f"== {title} =="]
-        for name in sorted(self._counters):
-            lines.append(f"  {name:<48} {self._counters[name]:>14,.0f}")
-        for group in sorted(self._groups):
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<48} {value:>14,.0f}")
+        for group, keys in snap["groups"].items():
             lines.append(f"  [{group}]")
-            keys = self._groups[group]
-            for key in sorted(keys):
-                lines.append(f"    {key:<46} {keys[key]:>14,.0f}")
+            for key, value in keys.items():
+                lines.append(f"    {key:<46} {value:>14,.0f}")
         return "\n".join(lines)
 
 
+#: number of power-of-two histogram buckets: bucket 0 holds values
+#: < 1, bucket i holds [2^(i-1), 2^i), bucket 47 covers up to 2^47
+#: cycles — far beyond any simulated latency.
+HISTOGRAM_BUCKETS = 48
+
+
+def _bucket_of(value: float) -> int:
+    if value < 1:
+        return 0
+    return min(HISTOGRAM_BUCKETS - 1, int(value).bit_length())
+
+
 class LatencySampler:
-    """Streaming latency statistics (count/sum/min/max) per label."""
+    """Streaming latency statistics with histogram percentiles.
+
+    Per label: (count, sum, min, max) moments plus a sparse geometric
+    histogram.  Percentiles are bucket-resolved (within a factor of
+    two, clamped to the observed max) and — unlike sorted-sample
+    percentiles — merge exactly across worker processes.
+    """
 
     def __init__(self):
-        self._data: Dict[str, Tuple[int, float, float, float]] = {}
+        self._data: Dict[str, list] = {}
+        self._hist: Dict[str, Dict[int, int]] = {}
 
     def sample(self, label: str, value: float) -> None:
-        if label in self._data:
-            count, total, lo, hi = self._data[label]
-            self._data[label] = (
-                count + 1, total + value, min(lo, value), max(hi, value))
+        entry = self._data.get(label)
+        if entry is not None:
+            entry[0] += 1
+            entry[1] += value
+            if value < entry[2]:
+                entry[2] = value
+            if value > entry[3]:
+                entry[3] = value
         else:
-            self._data[label] = (1, value, value, value)
+            self._data[label] = [1, value, value, value]
+            self._hist[label] = {}
+        hist = self._hist[label]
+        bucket = _bucket_of(value)
+        hist[bucket] = hist.get(bucket, 0) + 1
 
     def mean(self, label: str) -> float:
         entry = self._data.get(label)
@@ -126,29 +175,99 @@ class LatencySampler:
     def labels(self) -> Iterable[str]:
         return list(self._data)
 
-    def merge(self, other: "LatencySampler") -> None:
-        """Fold another sampler's streams into this one."""
-        for label, (count, total, lo, hi) in other._data.items():
-            if label in self._data:
-                mine = self._data[label]
-                self._data[label] = (mine[0] + count, mine[1] + total,
-                                     min(mine[2], lo), max(mine[3], hi))
-            else:
-                self._data[label] = (count, total, lo, hi)
+    # -- histogram / percentiles ------------------------------------------
+    def histogram(self, label: str) -> Dict[int, int]:
+        """Sparse copy: bucket index -> count (see ``_bucket_of``)."""
+        return dict(self._hist.get(label, {}))
 
-    def snapshot(self) -> Dict[str, Tuple[int, float, float, float]]:
-        """Plain-dict copy of the per-label (count, sum, min, max)."""
-        return {label: tuple(entry)
-                for label, entry in self._data.items()}
+    def percentile(self, label: str, p: float) -> float:
+        """Bucket-resolved percentile estimate for ``label``.
+
+        Returns the upper bound of the bucket containing the p-th
+        sample, clamped to the observed min/max — exact when all
+        samples share a bucket, within 2x otherwise.
+        """
+        entry = self._data.get(label)
+        if not entry or entry[0] == 0:
+            return 0.0
+        rank = max(1, ceil(entry[0] * min(max(p, 0.0), 100.0) / 100.0))
+        cumulative = 0
+        for bucket in sorted(self._hist[label]):
+            cumulative += self._hist[label][bucket]
+            if cumulative >= rank:
+                upper = 0.0 if bucket == 0 else float(1 << bucket)
+                return min(max(upper, entry[2]), entry[3])
+        return entry[3]
+
+    def summary(self, label: str) -> Dict[str, float]:
+        """count/mean/min/max/p50/p95/p99 for one label."""
+        return {
+            "count": float(self.count(label)),
+            "mean": self.mean(label),
+            "min": self.minimum(label),
+            "max": self.maximum(label),
+            "p50": self.percentile(label, 50),
+            "p95": self.percentile(label, 95),
+            "p99": self.percentile(label, 99),
+        }
+
+    # -- aggregation -------------------------------------------------------
+    def merge(self, other: "LatencySampler") -> None:
+        """Fold another sampler's streams (moments + histograms)."""
+        for label, (count, total, lo, hi) in other._data.items():
+            mine = self._data.get(label)
+            if mine is not None:
+                mine[0] += count
+                mine[1] += total
+                mine[2] = min(mine[2], lo)
+                mine[3] = max(mine[3], hi)
+            else:
+                self._data[label] = [count, total, lo, hi]
+                self._hist[label] = {}
+            hist = self._hist[label]
+            for bucket, n in other._hist.get(label, {}).items():
+                hist[bucket] = hist.get(bucket, 0) + n
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Deep plain-dict copy, JSON-round-trip safe.
+
+        Histogram keys are stringified bucket indices (JSON objects
+        only have string keys); :meth:`from_snapshot` converts back, so
+        snapshot -> json -> from_snapshot -> snapshot is the identity.
+        """
+        return {
+            label: {
+                "count": int(entry[0]),
+                "sum": float(entry[1]),
+                "min": float(entry[2]),
+                "max": float(entry[3]),
+                "hist": {str(bucket): int(n) for bucket, n in
+                         sorted(self._hist.get(label, {}).items())},
+            }
+            for label, entry in sorted(self._data.items())
+        }
 
     @classmethod
-    def from_snapshot(cls, payload: Mapping[str, Sequence[float]]
+    def from_snapshot(cls, payload: Mapping[str, object]
                       ) -> "LatencySampler":
-        """Rebuild a sampler from :meth:`snapshot` output (JSON lists
-        are accepted, so snapshots survive a JSON round-trip)."""
+        """Rebuild a sampler from :meth:`snapshot` output.
+
+        Accepts the current dict format and the legacy 4-tuple / JSON
+        list ``(count, sum, min, max)`` format (histograms then start
+        empty, so percentiles degrade to the observed max).
+        """
         sampler = cls()
         for label, entry in payload.items():
-            count, total, lo, hi = entry
-            sampler._data[label] = (int(count), float(total),
-                                    float(lo), float(hi))
+            if isinstance(entry, Mapping):
+                sampler._data[label] = [
+                    int(entry["count"]), float(entry["sum"]),
+                    float(entry["min"]), float(entry["max"])]
+                sampler._hist[label] = {
+                    int(bucket): int(n)
+                    for bucket, n in entry.get("hist", {}).items()}
+            else:
+                count, total, lo, hi = entry
+                sampler._data[label] = [int(count), float(total),
+                                        float(lo), float(hi)]
+                sampler._hist[label] = {}
         return sampler

@@ -2,9 +2,9 @@
 from .builder import RunResult, System, build_system
 from .config import (CONFIG_ORDER, CONFIGS, FaultConfig,
                      HIERARCHICAL_CONFIGS, SPANDEX_CONFIGS, SystemConfig,
-                     WatchdogConfig, scaled_config)
+                     TraceConfig, WatchdogConfig, scaled_config)
 
 __all__ = ["RunResult", "System", "build_system", "CONFIG_ORDER",
            "CONFIGS", "FaultConfig", "HIERARCHICAL_CONFIGS",
-           "SPANDEX_CONFIGS", "SystemConfig", "WatchdogConfig",
-           "scaled_config"]
+           "SPANDEX_CONFIGS", "SystemConfig", "TraceConfig",
+           "WatchdogConfig", "scaled_config"]

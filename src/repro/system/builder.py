@@ -24,6 +24,8 @@ from ..devices.gpu import GPUCU
 from ..faults import FaultInjector, LivenessWatchdog
 from ..mem.dram import MainMemory
 from ..network.noc import LatencyModel, Network
+from ..obs import (MetricsTimeSeries, TraceFilter, TraceRecorder,
+                   TransactionProfiler)
 from ..protocols.denovo import DeNovoL1
 from ..protocols.gpu_coherence import GPUCoherenceL1
 from ..protocols.gpu_l2 import GPUL2
@@ -63,7 +65,27 @@ class System:
                 self, stall_cycles=config.watchdog.stall_cycles,
                 period=config.watchdog.period)
             self.engine.stall_check = self.watchdog.quiescence_check
+        # Observability must exist before _build(): L1 controllers copy
+        # engine.tracer into their MSHR files at construction time.
+        self.tracer: Optional[TraceRecorder] = None
+        self.profiler: Optional[TransactionProfiler] = None
+        self.metrics: Optional[MetricsTimeSeries] = None
+        if config.trace is not None and config.trace.enabled:
+            self.tracer = TraceRecorder(
+                self.engine, capacity=config.trace.capacity,
+                filter=TraceFilter.parse(config.trace.filters))
+            self.engine.tracer = self.tracer
+            self.profiler = TransactionProfiler()
+            self.tracer.sinks.append(self.profiler)
+            if config.trace.metrics_interval > 0:
+                self.metrics = MetricsTimeSeries(
+                    self.stats, config.trace.metrics_interval)
+                self.tracer.sinks.append(self.metrics)
         self._build()
+        if self.tracer is not None:
+            self.tracer.homes.add(self.llc.name)
+            if self.gpu_l2 is not None:
+                self.tracer.homes.add(self.gpu_l2.name)
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
@@ -254,6 +276,8 @@ class System:
         self.engine.run(max_events=max_events, max_cycles=max_cycles)
         cycles = max(done_times.values()) if done_times else self.engine.now
         self.stats.set("execution.cycles", cycles)
+        if self.metrics is not None:
+            self.metrics.finalize(self.engine.now)
         return RunResult(self.config.name, cycles, self.stats, self.dram)
 
 

@@ -68,6 +68,24 @@ class FaultConfig:
 
 
 @dataclass(frozen=True)
+class TraceConfig:
+    """Observability parameters (``repro.obs``).
+
+    Tracing is passive: the recorder never schedules engine events, so
+    enabling it changes no cycle counts, event counts, or memory state.
+    """
+
+    enabled: bool = True
+    #: ring-buffer capacity (events retained for export / diagnostics)
+    capacity: int = 262_144
+    #: ``addr=0x…`` / ``dev=name`` / ``class=kind`` retention filters
+    #: (see :meth:`repro.obs.TraceFilter.parse`); empty = keep all
+    filters: Tuple[str, ...] = ()
+    #: StatsRegistry snapshot period in cycles; 0 disables the series
+    metrics_interval: int = 0
+
+
+@dataclass(frozen=True)
 class WatchdogConfig:
     """Liveness watchdog parameters (``repro.faults.watchdog``)."""
 
@@ -129,6 +147,8 @@ class SystemConfig:
     faults: Optional[FaultConfig] = None
     #: liveness watchdog (on by default; a hang becomes DeadlockError)
     watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
+    #: optional observability (None = no tracing / profiling)
+    trace: Optional[TraceConfig] = None
 
     @property
     def hierarchical(self) -> bool:
