@@ -8,7 +8,11 @@ Commands:
 * ``figure2`` / ``figure3`` — regenerate the paper's figures;
 * ``headline`` — the paper's Sbest-vs-Hbest summary numbers;
 * ``sweep`` — run a (workload x configuration) grid across worker
-  processes with an on-disk result cache.
+  processes with an on-disk result cache;
+* ``verify`` — litmus-driven schedule exploration: enumerate message
+  interleavings of the verification corpus across configurations,
+  shrink failing schedules into replayable repros, run the mutant
+  kill matrix, and report FSM transition coverage (see VERIFY.md).
 
 ``figure2``/``figure3``/``headline`` are sweeps too: they accept
 ``--jobs`` and reuse the same cache, so regenerating a figure after a
@@ -32,6 +36,11 @@ from .obs import (format_timeline, load_chrome_trace,
 from .sim.engine import SimulationError
 from .system import (CONFIG_ORDER, CONFIGS, FaultConfig, TraceConfig,
                      WatchdogConfig, build_system, scaled_config)
+from .verify import (CORPUS, CoverageRecorder, DfsExplorer,
+                     RandomWalkExplorer, coverage_report, format_coverage,
+                     replay_schedule, scenario_by_name, shrink_failure)
+from .verify.explorer import FAILURE_KINDS
+from .verify.mutants import MUTANTS, kill_matrix
 from .workloads import (APPLICATIONS, MICROBENCHMARKS, load_workload,
                         save_workload)
 
@@ -158,6 +167,49 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--config", default="SDD",
                         choices=list(CONFIG_ORDER))
     replay.add_argument("--check", action="store_true")
+
+    verify = sub.add_parser(
+        "verify",
+        help="explore litmus-scenario schedules (see VERIFY.md)")
+    verify.add_argument("--scenarios", default="all",
+                        help="comma-separated litmus scenario names "
+                             "(default: the whole corpus)")
+    verify.add_argument("--configs", default="all",
+                        help="comma-separated configuration names "
+                             "(default: all six)")
+    verify.add_argument("--mode", choices=("dfs", "walk"), default="dfs",
+                        help="bounded DFS enumeration or seeded random "
+                             "walks (default: dfs)")
+    verify.add_argument("--max-schedules", type=int, default=96,
+                        metavar="N",
+                        help="DFS schedule budget per (scenario, "
+                             "config) cell (default: 96)")
+    verify.add_argument("--seeds", type=int, default=16, metavar="N",
+                        help="random-walk schedules per cell "
+                             "(default: 16)")
+    verify.add_argument("--keep-going", action="store_true",
+                        help="explore every cell even after a failure "
+                             "(default: stop at the first)")
+    verify.add_argument("--coverage", action="store_true",
+                        help="accumulate and print the FSM (state, "
+                             "event) transition-coverage report")
+    verify.add_argument("--mutants", action="store_true",
+                        help="run the mutant kill matrix instead of "
+                             "the baseline sweep (uses each mutant's "
+                             "hinted scenarios; ignores --scenarios/"
+                             "--configs)")
+    verify.add_argument("--list", action="store_true",
+                        dest="list_scenarios",
+                        help="list the litmus corpus and exit")
+    verify.add_argument("--repro-out", default=None, metavar="FILE",
+                        help="on failure, write a shrunk replayable "
+                             "repro JSON here")
+    verify.add_argument("--replay", default=None, metavar="FILE",
+                        help="replay a repro JSON written by "
+                             "--repro-out instead of exploring")
+    verify.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome/Perfetto trace of the "
+                             "failing (or replayed) schedule")
     return parser
 
 
@@ -446,6 +498,179 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _verify_write_trace(scenario, config_name: str, choices: List[int],
+                        path: str) -> None:
+    """Replay one schedule with tracing on and dump a Chrome trace.
+
+    The replay is expected to fail (that is the point); the system is
+    captured via ``on_system`` so the trace survives the exception.
+    """
+    captured: List[object] = []
+    try:
+        replay_schedule(scenario, config_name, choices, trace=True,
+                        on_system=captured.append)
+    except FAILURE_KINDS:
+        pass
+    if not captured or captured[0].tracer is None:
+        return
+    section = {"name": f"{scenario.name}@{config_name}",
+               "events": list(captured[0].tracer.events())}
+    payload = write_chrome_trace(path, [section])
+    print(f"wrote {len(payload['traceEvents']):,} trace events -> "
+          f"{path}")
+
+
+def _verify_report_failure(args, failure) -> int:
+    """Shrink a failing schedule, emit artifacts, return exit code 3."""
+    scenario = scenario_by_name(failure.scenario)
+    print(f"FAILED: {failure.scenario} on {failure.config} "
+          f"[{failure.kind}] {failure.message}", file=sys.stderr)
+    shrunk = shrink_failure(scenario, failure.config, failure.choices)
+    print(f"  schedule: {failure.choices} -> shrunk {shrunk}",
+          file=sys.stderr)
+    if failure.diagnostic:
+        print(format_diagnostic(failure.diagnostic), file=sys.stderr)
+    if args.repro_out:
+        payload = failure.to_dict()
+        payload["choices"] = list(shrunk)
+        payload["shrunk_from"] = list(failure.choices)
+        with open(args.repro_out, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"repro written -> {args.repro_out}  (replay with: "
+              f"repro verify --replay {args.repro_out})")
+    if args.trace_out:
+        _verify_write_trace(scenario, failure.config, shrunk,
+                            args.trace_out)
+    return 3
+
+
+def _cmd_verify_replay(args) -> int:
+    try:
+        with open(args.replay) as handle:
+            payload = json.load(handle)
+        scenario = scenario_by_name(payload["scenario"])
+        config_name = payload["config"]
+        choices = list(payload["choices"])
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"cannot load repro {args.replay}: {exc}", file=sys.stderr)
+        return 2
+    print(f"replaying {scenario.name} on {config_name}: "
+          f"choices {choices}")
+    try:
+        replay_schedule(scenario, config_name, choices)
+    except FAILURE_KINDS as exc:
+        print(f"reproduced: [{type(exc).__name__}] {exc}",
+              file=sys.stderr)
+        diagnostic = getattr(exc, "diagnostic", None)
+        if diagnostic:
+            print(format_diagnostic(diagnostic), file=sys.stderr)
+        if args.trace_out:
+            _verify_write_trace(scenario, config_name, choices,
+                                args.trace_out)
+        return 3
+    if args.trace_out:
+        _verify_write_trace(scenario, config_name, choices,
+                            args.trace_out)
+    print("replay PASSED — the failure no longer reproduces")
+    return 0
+
+
+def _cmd_verify_mutants(args) -> int:
+    def make_explorer():
+        if args.mode == "walk":
+            return RandomWalkExplorer(range(args.seeds))
+        return DfsExplorer(max_schedules=args.max_schedules)
+
+    def explore(scenario_name: str, config_name: str) -> bool:
+        result = make_explorer().explore(scenario_by_name(scenario_name),
+                                         config_name)
+        return not result.ok
+
+    kills = kill_matrix(explore)
+    survivors = []
+    for mutant in MUTANTS:
+        found = kills[mutant.name]
+        if found:
+            scenario_name, config_name = found[0]
+            print(f"  {mutant.name:<26} KILLED by {scenario_name} "
+                  f"on {config_name}")
+        else:
+            survivors.append(mutant.name)
+            print(f"  {mutant.name:<26} SURVIVED", file=sys.stderr)
+    print(f"{len(MUTANTS) - len(survivors)}/{len(MUTANTS)} mutants "
+          "killed")
+    return 1 if survivors else 0
+
+
+def _cmd_verify(args) -> int:
+    if args.list_scenarios:
+        print(f"litmus corpus ({len(CORPUS)} scenarios):")
+        for scenario in CORPUS:
+            races = f"  [{', '.join(scenario.races)}]" \
+                if scenario.races else ""
+            print(f"  {scenario.name:<24}{races}")
+        return 0
+    if args.replay:
+        return _cmd_verify_replay(args)
+    if args.mutants:
+        return _cmd_verify_mutants(args)
+
+    configs = (list(CONFIG_ORDER) if args.configs == "all"
+               else [c.strip() for c in args.configs.split(",")
+                     if c.strip()])
+    bad = [c for c in configs if c not in CONFIG_ORDER]
+    if bad:
+        print(f"unknown config(s): {', '.join(bad)} "
+              f"(try: {', '.join(CONFIG_ORDER)})", file=sys.stderr)
+        return 2
+    if args.scenarios == "all":
+        scenarios = list(CORPUS)
+    else:
+        names = [s.strip() for s in args.scenarios.split(",")
+                 if s.strip()]
+        try:
+            scenarios = [scenario_by_name(name) for name in names]
+        except KeyError as exc:
+            print(f"{exc.args[0]} (try: repro verify --list)",
+                  file=sys.stderr)
+            return 2
+
+    recorder = CoverageRecorder() if args.coverage else None
+
+    def make_explorer():
+        if args.mode == "walk":
+            return RandomWalkExplorer(range(args.seeds),
+                                      stop_on_failure=not args.keep_going)
+        return DfsExplorer(max_schedules=args.max_schedules,
+                           stop_on_failure=not args.keep_going)
+
+    schedules = deliveries = 0
+    failures = []
+    for scenario in scenarios:
+        for config_name in configs:
+            result = make_explorer().explore(scenario, config_name,
+                                             coverage=recorder)
+            schedules += result.schedules
+            deliveries += result.deliveries
+            if not result.ok:
+                failures.extend(result.failures)
+                if not args.keep_going:
+                    return _verify_report_failure(args, failures[0])
+    print(f"explored {schedules:,} schedules "
+          f"({deliveries:,} deliveries) over {len(scenarios)} "
+          f"scenario(s) x {len(configs)} configuration(s): "
+          f"{len(failures)} violation(s)")
+    if recorder is not None:
+        print(format_coverage(coverage_report(recorder)))
+    if failures:
+        for failure in failures[1:]:
+            print(f"also FAILED: {failure.scenario} on "
+                  f"{failure.config} [{failure.kind}]", file=sys.stderr)
+        return _verify_report_failure(args, failures[0])
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -463,6 +688,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_headline(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "save":
         workload = ALL_WORKLOADS[args.workload](
             num_cpus=args.cpus, num_gpus=args.gpus,

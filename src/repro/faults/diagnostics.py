@@ -109,13 +109,15 @@ def _tu_view(tu) -> Dict[str, object]:
 def _home_view(home) -> Dict[str, object]:
     txns = []
     for txn in getattr(home, "_txns", {}).values():
+        # SpandexHome txns carry kind/mask/data_mask; the MESI
+        # directory's DirTxn only acks_needed/want_data
         txns.append({
             "txn_id": txn.txn_id,
             "line": f"0x{txn.line:x}",
-            "kind": txn.kind,
-            "mask": txn.mask,
+            "kind": getattr(txn, "kind", type(txn).__name__),
+            "mask": getattr(txn, "mask", 0),
             "acks_needed": txn.acks_needed,
-            "data_mask": txn.data_mask,
+            "data_mask": getattr(txn, "data_mask", 0),
         })
     deferred = {f"0x{line:x}": len(queue) for line, queue
                 in getattr(home, "_deferred", {}).items()}
@@ -157,6 +159,11 @@ def collect_diagnostic(system, reason: str,
         "devices": {l1.name: _device_view(l1, now) for l1 in _l1s(system)},
         "homes": {home.name: _home_view(home) for home in _homes(system)},
     }
+    context = getattr(system, "verify_context", None)
+    if context:
+        # set by repro.verify: litmus scenario name, configuration and
+        # schedule seed/choices, so a dump is attributable and replayable
+        diag["verify"] = dict(context)
     network = getattr(system, "network", None)
     if network is not None and hasattr(network, "in_flight"):
         diag["network"] = [
@@ -189,6 +196,11 @@ def format_diagnostic(diag: Dict[str, object]) -> str:
     """Render :func:`collect_diagnostic` output for a terminal."""
     lines = [f"== diagnostic @ cycle {diag.get('cycle', '?')}: "
              f"{diag.get('reason', '')} =="]
+    verify = diag.get("verify")
+    if verify:
+        detail = " ".join(f"{key}={verify[key]}" for key in
+                          sorted(verify))
+        lines.append(f"  verify: {detail}")
     for record in diag.get("stalled", []):
         lines.append(f"  STALLED {record}")
     for name, view in diag.get("devices", {}).items():

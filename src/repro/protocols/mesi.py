@@ -301,6 +301,16 @@ class MESIL1(L1Controller):
             self._complete_access(line_obj, access)
         if inflight.purpose == "rmw":
             self._write_completed()
+        if entry.meta.get("inv_after_grant") \
+                and line_obj.state == MesiState.S:
+            # an Inv raced this grant (see _ext_inv): the data above
+            # was stale the moment it arrived — waiting accesses got
+            # their one use, now drop it so nothing re-reads it
+            self.array.evict(line)
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("l1.state", self.name, line=line,
+                              info="S->I inv-after-grant")
         self._run_post_grant(line)
         if not self._issue_scheduled:
             self._issue_writes()
@@ -383,6 +393,17 @@ class MESIL1(L1Controller):
                           req_id=msg.meta["txn_id"]))
 
     def _ext_inv(self, msg: Message) -> None:
+        entry = self.mshrs.lookup(msg.line)
+        if entry is not None and str(entry.meta.get("type", "IS")) == "IS":
+            # The Inv can race our in-flight GetS grant when the data
+            # travels on a third party's link (forwarded owner
+            # response).  Ack immediately — deferring the ack can
+            # deadlock when our own request sits deferred at the home
+            # *behind* the invalidating transaction — but poison the
+            # grant so the stale line is dropped as soon as the
+            # accesses already waiting on it have consumed it.
+            entry.meta["inv_after_grant"] = True
+            self.count("inv_grant_races")
         line_obj = self.array.lookup(msg.line, touch=False)
         if line_obj is not None and line_obj.state == MesiState.S:
             self.array.evict(msg.line)

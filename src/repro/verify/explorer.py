@@ -1,0 +1,644 @@
+"""Schedule exploration over message-delivery interleavings.
+
+The explorer replaces the timing network with
+:class:`ControlledNetwork`: sends queue per point-to-point link (FIFO
+order preserved — a protocol correctness assumption) and nothing is
+delivered until the explorer picks a link head.  Between deliveries the
+engine runs to quiescence, so a *schedule* is exactly the sequence of
+delivery choices — a list of small integers — which makes schedules
+replayable, shrinkable and enumerable.
+
+Enumeration is stateless (CHESS-style): each schedule runs from a
+fresh system, following a forced choice prefix and defaulting to
+index 0 beyond it, while recording the branching factor met at every
+choice point; sibling prefixes are generated from the record.  A
+partial-order heuristic delivers messages that conflict with no other
+pending message (different destination *and* different line) eagerly,
+without a choice point — such deliveries commute with everything else
+pending, so no distinguishable interleaving is lost.
+
+Every explored schedule is checked four ways: all litmus threads ran
+to completion (else deadlock), the invariant auditor's final audit,
+final memory against the sequential reference image, and the per-load
+SC-for-DRF value-legality pass (:mod:`repro.verify.legality`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..analysis.invariants import InvariantChecker, InvariantViolation
+from ..coherence.messages import Message
+from ..faults.diagnostics import collect_diagnostic
+from ..faults.watchdog import DeadlockError
+from ..network.noc import Network
+from ..protocols.base import Access
+from ..sim.engine import SimulationError
+from ..workloads.trace import Op
+from .legality import check_value_legality
+from .systems import THREAD_NAMES, VerifySystem
+
+#: engine-event and delivery budgets: generous livelock backstops
+EVENT_BUDGET = 2_000_000
+DELIVERY_BUDGET = 20_000
+
+
+class VerificationError(AssertionError):
+    """A schedule-level check failed; ``diagnostic`` has the dump."""
+
+    def __init__(self, message: str, diagnostic: Optional[Dict] = None):
+        super().__init__(message)
+        self.diagnostic = diagnostic or {}
+
+
+class MemoryMismatch(VerificationError):
+    """Final memory diverged from the sequential reference image."""
+
+
+class ValueLegalityError(VerificationError):
+    """A load observed a value no SC-for-DRF execution can produce."""
+
+
+class ControlledNetwork(Network):
+    """A network whose deliveries are chosen by the explorer.
+
+    ``send`` performs the same validation and traffic accounting as the
+    timing network but queues the message on its (src, dst) link;
+    ``deliver`` hands a link head to its endpoint one engine cycle
+    later.  Per-link FIFO order is preserved by construction.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._queues: Dict[Tuple[str, str], Deque[Tuple[int, Message]]] = {}
+        #: monotone count of accepted sends (drain progress detection,
+        #: and the per-message age stamp the canonical order sorts by)
+        self.enqueued = 0
+        self.delivered = 0
+        #: optional tap fired at each delivery (coverage accounting)
+        self.delivery_observer: Optional[Callable[[Message], None]] = None
+
+    def send(self, msg: Message) -> None:
+        if msg.dst not in self._endpoints:
+            raise SimulationError(
+                f"unknown destination {msg.dst!r} for {msg}")
+        size = msg.size_bytes()
+        self.stats.incr("network.messages")
+        self.stats.incr("network.bytes", size)
+        self.stats.incr_group("traffic.bytes", msg.traffic_class, size)
+        self.stats.incr_group("traffic.messages", msg.traffic_class, 1)
+        self._queues.setdefault((msg.src, msg.dst), deque()).append(
+            (self.enqueued, msg))
+        self.enqueued += 1
+
+    def deliverable(self) -> List[Message]:
+        """Link heads, oldest enqueue first.
+
+        The canonical order is what makes a recorded choice index
+        replayable.  Oldest-first also makes the default (index 0)
+        schedule *fair*: a spinning driver keeps minting fresh requests,
+        and a sorted-by-link order would let them starve an older
+        pending message (e.g. a forwarded GetM) forever.
+        """
+        heads = [queue[0] for queue in self._queues.values() if queue]
+        heads.sort(key=lambda entry: entry[0])
+        return [msg for _seq, msg in heads]
+
+    def deliver(self, msg: Message) -> None:
+        queue = self._queues[(msg.src, msg.dst)]
+        assert queue[0][1] is msg, "only link heads are deliverable"
+        queue.popleft()
+        self.delivered += 1
+        if self.delivery_observer is not None:
+            self.delivery_observer(msg)
+        target = self._endpoints[msg.dst]
+        now = self.engine.now
+        tracer = self.engine.tracer
+        if tracer is None:
+            deliver = lambda m=msg, t=target: t.receive(m)  # noqa: E731
+        else:
+            tracer.message_sent(msg, now, now + 1)
+
+            def deliver(m=msg, t=target, tr=tracer):
+                tr.message_delivered(m)
+                t.receive(m)
+        self.engine.schedule_at(
+            now + 1, deliver, label=f"net:{msg.kind.value}->{msg.dst}")
+
+    def pending(self) -> int:
+        return self.enqueued - self.delivered
+
+    def in_flight(self):
+        """Queued messages, for deadlock diagnostics."""
+        now = self.engine.now
+        return [(now, msg) for _link, queue in sorted(self._queues.items())
+                for _seq, msg in queue]
+
+
+def _conflict(a: Message, b: Message) -> bool:
+    return a.dst == b.dst or a.line == b.line
+
+
+class _ForcedNacks:
+    """Deterministic stand-in for the fault injector's Nack hook.
+
+    On a per-link-FIFO network the §III-C.3 owner-departed Nack leg is
+    unreachable through protocol action alone (every departure
+    notification is FIFO-ordered behind the forward), so scenarios opt
+    in via ``force_nacks: N`` and the home rejects the first N eligible
+    ReqVs — exercising the requestor's retry/escalation path on every
+    schedule.
+    """
+
+    def __init__(self, count: int):
+        self.remaining = count
+
+    def should_nack(self, msg: Message) -> bool:
+        if self.remaining > 0:
+            self.remaining -= 1
+            return True
+        return False
+
+
+class LitmusDriver:
+    """A CPU-core-like trace driver that *parks* instead of polling.
+
+    The stock :class:`~repro.devices.cpu.CPUCore` retries structural
+    stalls and spin misses on a timer; under the controlled network
+    that busy-wait would keep the engine from ever draining.  This
+    driver parks a blocked/spinning operation in ``_wake`` and lets the
+    explorer's drain loop wake it between deliveries.  It also logs
+    every completed memory operation (value and completion cycle) for
+    the value-legality pass.
+    """
+
+    def __init__(self, engine, name: str, l1, trace: List[Op]):
+        self.engine = engine
+        self.name = name
+        self.l1 = l1
+        self.trace = trace
+        self._pc = 0
+        self.done = False
+        self.ops_executed = 0
+        self.spin_iterations = 0
+        self._wake: Optional[Callable[[], None]] = None
+        #: completed-operation log: dicts with kind/addr/value/cycle/uid
+        self.log: List[Dict[str, object]] = []
+
+    # -- explorer interface -------------------------------------------
+    def start(self) -> None:
+        self.engine.schedule(0, self._step, label=f"{self.name}:start")
+
+    @property
+    def parked(self) -> bool:
+        return self._wake is not None
+
+    def wake(self) -> None:
+        fn, self._wake = self._wake, None
+        if fn is not None:
+            fn()
+
+    # -- execution ----------------------------------------------------
+    def _log(self, kind: str, addr: int, value: int, uid: int) -> None:
+        self.log.append({"kind": kind, "addr": addr, "value": value,
+                         "cycle": self.engine.now, "uid": uid,
+                         "seq": len(self.log)})
+
+    def _advance(self) -> None:
+        self._pc += 1
+        self.ops_executed += 1
+        self.engine.schedule(1, self._step, label=f"{self.name}:advance")
+
+    def _step(self) -> None:
+        if self._pc >= len(self.trace):
+            self.done = True
+            return
+        op = self.trace[self._pc]
+        handler = {
+            "load": self._op_load, "store": self._op_store,
+            "rmw": self._op_rmw, "spin_load": self._op_spin,
+            "acquire": self._op_acquire, "release": self._op_release,
+            "compute": self._op_compute,
+        }[op.kind.value]
+        handler(op)
+
+    def _op_load(self, op: Op) -> None:
+        addr = op.addrs[0]
+        index = (addr >> 2) & 15
+
+        def done(values: Dict[int, int]) -> None:
+            self._log("load", addr, values.get(index, 0), op.uid)
+            self._advance()
+
+        access = Access("load", addr & ~63, 1 << index, callback=done)
+        if not self.l1.try_access(access):
+            self._wake = self._step
+
+    def _op_store(self, op: Op) -> None:
+        addr = op.addrs[0]
+        index = (addr >> 2) & 15
+        access = Access("store", addr & ~63, 1 << index,
+                        values={index: op.value},
+                        callback=lambda values: None)
+        if not self.l1.try_access(access):
+            self._wake = self._step
+            return
+        self._log("store", addr, op.value, op.uid)
+        self._advance()
+
+    def _op_rmw(self, op: Op) -> None:
+        addr = op.addrs[0]
+        index = (addr >> 2) & 15
+
+        def done(values: Dict[int, int]) -> None:
+            self._log("rmw", addr, values.get(index, 0), op.uid)
+            if op.acquire:
+                self.l1.fence_acquire(lambda: self._advance(),
+                                      regions=op.regions, scope=op.scope)
+            else:
+                self._advance()
+
+        def issue() -> None:
+            access = Access("rmw", addr & ~63, 1 << index,
+                            atomic=op.atomic, callback=done)
+            if not self.l1.try_access(access):
+                self._wake = issue
+
+        if op.release:
+            self.l1.fence_release(issue, scope=op.scope)
+        else:
+            issue()
+
+    def _op_spin(self, op: Op) -> None:
+        addr = op.addrs[0]
+        index = (addr >> 2) & 15
+
+        def check(values: Dict[int, int]) -> None:
+            value = values.get(index, 0)
+            if op.spin_until(value):
+                self._log("spin", addr, value, op.uid)
+                self.l1.fence_acquire(lambda: self._advance(),
+                                      regions=op.regions, scope=op.scope)
+                return
+            self.spin_iterations += 1
+            # park: a delivery (or nothing) must change the observable
+            # value; the drain loop re-reads after every choice
+            self._wake = lambda: self._op_spin(op)
+
+        access = Access("load", addr & ~63, 1 << index, callback=check,
+                        invalidate_first=True)
+        if not self.l1.try_access(access):
+            self._wake = lambda: self._op_spin(op)
+
+    def _op_acquire(self, op: Op) -> None:
+        self.l1.fence_acquire(lambda: self._advance(),
+                              regions=op.regions, scope=op.scope)
+
+    def _op_release(self, op: Op) -> None:
+        self.l1.fence_release(lambda: self._advance(), scope=op.scope)
+
+    def _op_compute(self, op: Op) -> None:
+        self._advance()
+
+
+# ---------------------------------------------------------------------
+# choosers
+# ---------------------------------------------------------------------
+class PrefixChooser:
+    """Follow a forced prefix, default to 0 beyond; record everything."""
+
+    def __init__(self, prefix: Optional[List[int]] = None):
+        self.prefix = list(prefix or [])
+        self.record: List[int] = []
+        self.branching: List[int] = []
+
+    def choose(self, n: int) -> int:
+        pos = len(self.record)
+        index = self.prefix[pos] if pos < len(self.prefix) else 0
+        if index >= n:       # a shrunk prefix may overshoot; clamp
+            index = 0
+        self.record.append(index)
+        self.branching.append(n)
+        return index
+
+    def describe(self) -> Dict[str, object]:
+        return {"mode": "prefix", "choices": list(self.prefix)}
+
+
+class RandomChooser:
+    """Seeded uniform choice at every point; records for replay."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.record: List[int] = []
+        self.branching: List[int] = []
+
+    def choose(self, n: int) -> int:
+        index = self.rng.randrange(n)
+        self.record.append(index)
+        self.branching.append(n)
+        return index
+
+    def describe(self) -> Dict[str, object]:
+        return {"mode": "walk", "seed": self.seed}
+
+
+# ---------------------------------------------------------------------
+# one schedule
+# ---------------------------------------------------------------------
+@dataclass
+class ScheduleRun:
+    """What one explored schedule produced (for checks and coverage)."""
+
+    system: VerifySystem
+    drivers: List[LitmusDriver]
+    choices: List[int]
+    branching: List[int]
+    deliveries: int
+
+
+def _drain(system: VerifySystem, drivers: List[LitmusDriver]) -> None:
+    """Run to quiescence, waking parked drivers until none progress.
+
+    A woken spinner that re-reads a stale local copy re-parks without
+    advancing anything; one that sends a request changes the enqueued
+    count.  Progress = ops executed, messages enqueued, or the parked
+    set changed.
+    """
+    engine, network = system.engine, system.network
+    engine.run(max_events=EVENT_BUDGET)
+    while True:
+        parked = [d for d in drivers if d.parked]
+        if not parked:
+            return
+        before = (tuple(d.ops_executed for d in drivers),
+                  network.enqueued,
+                  frozenset(d.name for d in parked))
+        for driver in parked:
+            driver.wake()
+        engine.run(max_events=EVENT_BUDGET)
+        after = (tuple(d.ops_executed for d in drivers),
+                 network.enqueued,
+                 frozenset(d.name for d in drivers if d.parked))
+        if after == before:
+            return
+
+
+def run_schedule(scenario, config_name: str, chooser=None, *,
+                 coverage=None, trace: bool = False,
+                 context: Optional[Dict[str, object]] = None,
+                 on_system: Optional[Callable[[VerifySystem], None]] = None,
+                 check_legality: bool = True) -> ScheduleRun:
+    """Run one litmus scenario under one delivery schedule and check it.
+
+    Raises :class:`DeadlockError`, :class:`InvariantViolation`,
+    :class:`MemoryMismatch` or :class:`ValueLegalityError` on failure;
+    plain :class:`SimulationError` if the protocol itself objects.
+    """
+    chooser = chooser or PrefixChooser()
+    spec = scenario.spec()
+    system = VerifySystem(config_name, network_cls=ControlledNetwork,
+                          l1_size=spec.get("l1_size", 8 * 1024),
+                          l1_assoc=spec.get("l1_assoc", 8),
+                          trace=trace)
+    system.verify_context = dict(context or {})
+    system.verify_context.setdefault("scenario", scenario.name)
+    system.verify_context.setdefault("config", config_name)
+    system.verify_context.update(chooser.describe())
+    if on_system is not None:
+        on_system(system)
+    force_nacks = spec.get("force_nacks", 0)
+    if force_nacks:
+        for home in system.homes():
+            if getattr(home, "FORCED_NACK_FAMILIES", ()):
+                home.fault_injector = _ForcedNacks(force_nacks)
+    initial: Dict[int, int] = spec.get("initial", {})
+    by_line: Dict[int, Dict[int, int]] = {}
+    for addr, value in initial.items():
+        by_line.setdefault(addr & ~63, {})[(addr >> 2) & 15] = value
+    for line, values in by_line.items():
+        system.seed(line, values)
+    if coverage is not None:
+        coverage.attach(system)
+    drivers = [LitmusDriver(system.engine, name, system.l1s[name],
+                            spec["threads"].get(name, []))
+               for name in THREAD_NAMES]
+    for driver in drivers:
+        driver.start()
+
+    network = system.network
+    deliveries = 0
+    while True:
+        _drain(system, drivers)
+        messages = network.deliverable()
+        if not messages:
+            break
+        if deliveries > DELIVERY_BUDGET:
+            raise DeadlockError(
+                f"delivery budget exceeded ({deliveries} deliveries)",
+                collect_diagnostic(system, "verify: delivery budget"))
+        # Partial-order pruning: heads conflicting with no other head
+        # commute with everything pending — deliver them without a
+        # choice point.  Conflicting heads must still make progress in
+        # the SAME iteration (a spinning driver can mint fresh
+        # non-conflicting messages forever and starve them otherwise).
+        eager = [m for m in messages
+                 if not any(_conflict(m, other) for other in messages
+                            if other is not m)]
+        for msg in eager:
+            network.deliver(msg)
+        deliveries += len(eager)
+        conflicted = [m for m in messages if m not in eager]
+        if conflicted:
+            index = (chooser.choose(len(conflicted))
+                     if len(conflicted) > 1 else 0)
+            network.deliver(conflicted[index])
+            deliveries += 1
+
+    run = ScheduleRun(system, drivers, list(chooser.record),
+                      list(chooser.branching), deliveries)
+    _check_run(scenario, run, initial, check_legality)
+    return run
+
+
+def _check_run(scenario, run: ScheduleRun, initial: Dict[int, int],
+               check_legality: bool) -> None:
+    system, drivers = run.system, run.drivers
+    stuck = [d.name for d in drivers if not d.done]
+    if stuck:
+        raise DeadlockError(
+            f"litmus threads {stuck} never completed",
+            collect_diagnostic(system, "verify: stuck litmus threads"))
+    InvariantChecker(system).audit(final=True)
+    reference = scenario.reference()
+    for addr in sorted(set(reference.memory) | set(initial)):
+        expected = reference.memory.get(addr, initial.get(addr, 0))
+        actual = system.read_coherent(addr)
+        if actual != expected:
+            raise MemoryMismatch(
+                f"word 0x{addr:x}: simulated {actual} != "
+                f"reference {expected}",
+                collect_diagnostic(system, "verify: memory mismatch"))
+    if check_legality:
+        violations = check_value_legality(scenario, drivers, initial)
+        if violations:
+            raise ValueLegalityError(
+                "; ".join(violations[:3]),
+                collect_diagnostic(system, "verify: illegal load value"))
+
+
+# ---------------------------------------------------------------------
+# exploration drivers
+# ---------------------------------------------------------------------
+@dataclass
+class ScheduleFailure:
+    """One failing schedule, replayable from its fields alone."""
+
+    scenario: str
+    config: str
+    choices: List[int]
+    kind: str
+    message: str
+    seed: Optional[int] = None
+    diagnostic: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"scenario": self.scenario, "config": self.config,
+                "choices": list(self.choices), "kind": self.kind,
+                "message": self.message, "seed": self.seed}
+
+
+@dataclass
+class ExplorationResult:
+    schedules: int = 0
+    deliveries: int = 0
+    complete: bool = True
+    failures: List[ScheduleFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+FAILURE_KINDS = (DeadlockError, InvariantViolation, VerificationError,
+                 SimulationError)
+
+
+def _classify(exc: BaseException) -> str:
+    return type(exc).__name__
+
+
+def _attempt(scenario, config_name: str, chooser, coverage,
+             result: ExplorationResult,
+             seed: Optional[int] = None) -> Optional[ScheduleFailure]:
+    try:
+        run = run_schedule(scenario, config_name, chooser,
+                           coverage=coverage)
+    except FAILURE_KINDS as exc:
+        failure = ScheduleFailure(
+            scenario=scenario.name, config=config_name,
+            choices=list(chooser.record), kind=_classify(exc),
+            message=str(exc), seed=seed,
+            diagnostic=getattr(exc, "diagnostic", None) or {})
+        result.failures.append(failure)
+        return failure
+    result.deliveries += run.deliveries
+    return None
+
+
+class DfsExplorer:
+    """Bounded stateless DFS over delivery choices with POR pruning."""
+
+    def __init__(self, max_schedules: int = 256, stop_on_failure: bool = True):
+        self.max_schedules = max_schedules
+        self.stop_on_failure = stop_on_failure
+
+    def explore(self, scenario, config_name: str,
+                coverage=None) -> ExplorationResult:
+        result = ExplorationResult()
+        stack: List[List[int]] = [[]]
+        while stack:
+            if result.schedules >= self.max_schedules:
+                result.complete = False
+                break
+            prefix = stack.pop()
+            chooser = PrefixChooser(prefix)
+            result.schedules += 1
+            failure = _attempt(scenario, config_name, chooser, coverage,
+                               result)
+            if failure is not None and self.stop_on_failure:
+                result.complete = False
+                break
+            # new choice points discovered past the forced prefix spawn
+            # sibling prefixes (each generated exactly once)
+            for pos in range(len(prefix), len(chooser.branching)):
+                for alt in range(1, chooser.branching[pos]):
+                    stack.append(chooser.record[:pos] + [alt])
+        return result
+
+
+class RandomWalkExplorer:
+    """Seeded random walks for scenarios too big to enumerate."""
+
+    def __init__(self, seeds: range = range(16),
+                 stop_on_failure: bool = True):
+        self.seeds = seeds
+        self.stop_on_failure = stop_on_failure
+
+    def explore(self, scenario, config_name: str,
+                coverage=None) -> ExplorationResult:
+        result = ExplorationResult()
+        for seed in self.seeds:
+            chooser = RandomChooser(seed)
+            result.schedules += 1
+            failure = _attempt(scenario, config_name, chooser, coverage,
+                               result, seed=seed)
+            if failure is not None and self.stop_on_failure:
+                result.complete = False
+                break
+        return result
+
+
+def replay_schedule(scenario, config_name: str, choices: List[int],
+                    **kwargs) -> ScheduleRun:
+    """Re-run a recorded (or shrunk) schedule deterministically."""
+    return run_schedule(scenario, config_name, PrefixChooser(choices),
+                        **kwargs)
+
+
+def shrink_failure(scenario, config_name: str, choices: List[int],
+                   max_attempts: int = 200) -> List[int]:
+    """Greedy shrink: truncate, then zero choices, while still failing."""
+    attempts = 0
+
+    def still_fails(candidate: List[int]) -> bool:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return False
+        attempts += 1
+        try:
+            run_schedule(scenario, config_name, PrefixChooser(candidate))
+        except FAILURE_KINDS:
+            return True
+        return False
+
+    best = list(choices)
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for cut in range(len(best)):
+            if still_fails(best[:cut]):
+                best = best[:cut]
+                improved = True
+                break
+        for pos, value in enumerate(best):
+            if value and still_fails(best[:pos] + [0] + best[pos + 1:]):
+                best = best[:pos] + [0] + best[pos + 1:]
+                improved = True
+    while best and best[-1] == 0:
+        best.pop()
+    return best

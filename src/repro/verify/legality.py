@@ -1,0 +1,256 @@
+"""Per-load SC-for-DRF value legality over explored schedules.
+
+The final-memory comparison catches lost writes but not *stale reads*:
+a protocol bug that lets an acquire-side thread read pre-publication
+data can still converge to the right final image.  This pass replays
+each schedule's completed-operation logs against the vector-clock
+semantics of :mod:`repro.consistency.reference` and checks every plain
+data load observed exactly the hb-maximal write visible to it — which
+is unique, because scenarios are certified DRF by the reference
+executor before exploration.
+
+Replay order matters: completion cycles alone can invert causality
+(the home applies an RMW, the observer's response races back on a
+faster link than the issuer's), so events are topologically sorted
+under two edge families — per-thread program order, and per-sync-
+variable *value order*.  The latter is well defined because scenarios
+drive each sync variable through monotonically non-decreasing values
+(the authoring discipline VERIFY.md documents): the event that makes
+the variable ``v`` precedes every event that observes ``v``.  A cycle
+in that graph means no SC serialization of the synchronization
+operations exists — itself reported as a violation.
+
+Synchronization uses the *observed-join* rule: an acquire-flavoured
+read that observed value ``v`` joins the clocks of exactly the
+publications whose value-after is ``<= v``, avoiding the spurious
+happens-before edges a plain variable-clock join would create when an
+unobserved publication merely completed earlier.
+
+Sync-variable reads are checked against the set of values the variable
+can ever take (stores in the corpus plus the closure of its atomics);
+plain loads of sync variables are skipped, mirroring the reference
+executor's race-check exemption.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..consistency.reference import VectorClock
+from ..workloads.trace import OpKind
+from .systems import THREAD_NAMES
+
+
+def _possible_sync_values(traces, sync_addrs,
+                          initial: Dict[int, int]) -> Dict[int, Set[int]]:
+    """Every value each sync variable can take in *any* execution: its
+    initial value, every stored value, closed under its atomics.  An
+    over-approximation — used only to flag impossible observations."""
+    stores: Dict[int, Set[int]] = {}
+    atomics: Dict[int, List] = {}
+    for trace in traces:
+        for op in trace:
+            if not op.addrs:
+                continue
+            addr = op.addrs[0]
+            if addr not in sync_addrs:
+                continue
+            if op.kind == OpKind.STORE:
+                stores.setdefault(addr, set()).add(op.value)
+            elif op.kind == OpKind.RMW:
+                atomics.setdefault(addr, []).append(op.atomic)
+    possible: Dict[int, Set[int]] = {}
+    for addr in sync_addrs:
+        values = {initial.get(addr, 0)} | stores.get(addr, set())
+        ops = atomics.get(addr, [])
+        for _round in range(len(ops)):
+            new = {op.apply(value) for op in ops for value in values}
+            if new <= values:
+                break
+            values |= new
+        possible[addr] = values
+    return possible
+
+
+class _Event:
+    __slots__ = ("tid", "seq", "cycle", "entry", "op", "preds", "succs")
+
+    def __init__(self, tid, seq, cycle, entry, op):
+        self.tid = tid
+        self.seq = seq
+        self.cycle = cycle
+        self.entry = entry
+        self.op = op
+        self.preds = 0
+        self.succs: List["_Event"] = []
+
+
+def _order_events(events: List[_Event], sync_addrs) -> Optional[List[_Event]]:
+    """Topological order under program order + sync-value order, or
+    ``None`` if the constraint graph is cyclic (a sync SC violation)."""
+    by_thread: Dict[int, List[_Event]] = {}
+    by_sync_addr: Dict[int, List[_Event]] = {}
+    for event in events:
+        by_thread.setdefault(event.tid, []).append(event)
+        addr = int(event.entry["addr"])
+        if addr in sync_addrs and event.entry["kind"] != "load":
+            by_sync_addr.setdefault(addr, []).append(event)
+
+    def add_edge(a: _Event, b: _Event) -> None:
+        a.succs.append(b)
+        b.preds += 1
+
+    for chain in by_thread.values():
+        chain.sort(key=lambda e: e.seq)
+        for a, b in zip(chain, chain[1:]):
+            add_edge(a, b)
+    for chain in by_sync_addr.values():
+        # key: the variable's value at the event — what an RMW/store
+        # makes it (producers first), what a spin observed (consumers
+        # second); cycle breaks remaining ties deterministically
+        def value_key(event: _Event) -> Tuple[int, int, int]:
+            kind = event.entry["kind"]
+            observed = int(event.entry["value"])
+            if kind == "store":
+                return (observed, 0, event.cycle)
+            if kind == "rmw":
+                return (event.op.atomic.apply(observed), 0, event.cycle)
+            return (observed, 1, event.cycle)          # spin
+        chain.sort(key=value_key)
+        for a, b in zip(chain, chain[1:]):
+            add_edge(a, b)
+
+    ready = [(e.cycle, e.tid, e.seq, e) for e in events if not e.preds]
+    heapq.heapify(ready)
+    ordered: List[_Event] = []
+    while ready:
+        _, _, _, event = heapq.heappop(ready)
+        ordered.append(event)
+        for succ in event.succs:
+            succ.preds -= 1
+            if not succ.preds:
+                heapq.heappush(ready, (succ.cycle, succ.tid, succ.seq,
+                                       succ))
+    if len(ordered) != len(events):
+        return None
+    return ordered
+
+
+def check_value_legality(scenario, drivers, initial: Dict[int, int]
+                         ) -> List[str]:
+    """Return human-readable violations (empty list = legal)."""
+    spec = scenario.spec()
+    reference = scenario.reference()
+    sync_addrs = reference.sync_addrs
+    nthreads = len(drivers)
+    traces = [spec["threads"].get(name, []) for name in THREAD_NAMES]
+    possible = _possible_sync_values(traces, sync_addrs, initial)
+
+    ops_by_uid = {op.uid: op for trace in traces for op in trace}
+    events: List[_Event] = []
+    for tid, driver in enumerate(drivers):
+        for entry in driver.log:
+            events.append(_Event(tid, entry["seq"], entry["cycle"],
+                                 entry, ops_by_uid[entry["uid"]]))
+    ordered = _order_events(events, sync_addrs)
+    if ordered is None:
+        return ["synchronization operations admit no SC serialization "
+                "(value-order and program-order constraints are cyclic)"]
+
+    clocks = [VectorClock(nthreads) for _ in range(nthreads)]
+    release_pending = [False] * nthreads
+    pcs = [0] * nthreads
+    #: data addr -> [(clock at write, value)]; seeded with the initial
+    #: image as a virtual bottom-clock write
+    writes: Dict[int, List[Tuple[VectorClock, int]]] = {}
+    #: sync addr -> [(value after publication, publisher clock)]
+    publications: Dict[int, List[Tuple[int, VectorClock]]] = {}
+    violations: List[str] = []
+
+    def writes_for(addr: int) -> List[Tuple[VectorClock, int]]:
+        if addr not in writes:
+            writes[addr] = [(VectorClock(nthreads),
+                             initial.get(addr, 0))]
+        return writes[addr]
+
+    def tick(tid: int) -> None:
+        clocks[tid].ticks[tid] += 1
+
+    def observe_sync(tid: int, addr: int, value: int) -> None:
+        """Observed-join: acquire the publications ``value`` proves."""
+        for value_after, clock in publications.get(addr, []):
+            if value_after <= value:
+                clocks[tid].join(clock)
+
+    def advance_silent(tid: int, uid: int):
+        """Consume fence/compute ops preceding the logged op ``uid``."""
+        trace = traces[tid]
+        while pcs[tid] < len(trace):
+            op = trace[pcs[tid]]
+            if op.uid == uid:
+                pcs[tid] += 1
+                return op
+            if op.kind == OpKind.RELEASE:
+                release_pending[tid] = True
+            elif op.kind not in (OpKind.ACQUIRE, OpKind.COMPUTE):
+                raise AssertionError(
+                    f"legality: unlogged {op.kind.value} before uid {uid}")
+            pcs[tid] += 1
+        raise AssertionError(f"legality: op uid {uid} not in trace {tid}")
+
+    for event in ordered:
+        tid, entry = event.tid, event.entry
+        op = advance_silent(tid, entry["uid"])
+        addr = int(entry["addr"])
+        observed = int(entry["value"])
+        name = THREAD_NAMES[tid]
+
+        if entry["kind"] == "load":
+            tick(tid)
+            if addr in sync_addrs:
+                continue
+            visible = [(clock, value) for clock, value
+                       in writes_for(addr)
+                       if clock.happens_before(clocks[tid])]
+            best = visible[0]
+            for candidate in visible[1:]:
+                if best[0].happens_before(candidate[0]):
+                    best = candidate
+            if observed != best[1]:
+                violations.append(
+                    f"{name} load 0x{addr:x} observed {observed}, "
+                    f"but SC-for-DRF requires {best[1]}")
+        elif entry["kind"] == "store":
+            tick(tid)
+            if addr in sync_addrs:
+                if release_pending[tid]:
+                    publications.setdefault(addr, []).append(
+                        (observed, clocks[tid].copy()))
+            else:
+                writes_for(addr).append(
+                    (clocks[tid].copy(), observed))
+            release_pending[tid] = False
+        elif entry["kind"] == "rmw":
+            tick(tid)
+            if observed not in possible.get(addr, {0}):
+                violations.append(
+                    f"{name} rmw 0x{addr:x} read {observed}, a value "
+                    f"the variable can never take "
+                    f"({sorted(possible.get(addr, {0}))})")
+            if op.acquire:
+                observe_sync(tid, addr, observed)
+            new_value = op.atomic.apply(observed)
+            if op.release or not op.acquire:
+                publications.setdefault(addr, []).append(
+                    (new_value, clocks[tid].copy()))
+        elif entry["kind"] == "spin":
+            if observed not in possible.get(addr, {0}):
+                violations.append(
+                    f"{name} spin 0x{addr:x} observed {observed}, a "
+                    f"value the variable can never take "
+                    f"({sorted(possible.get(addr, {0}))})")
+            observe_sync(tid, addr, observed)
+        else:
+            raise AssertionError(f"legality: unknown log {entry}")
+    return violations

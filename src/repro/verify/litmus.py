@@ -1,0 +1,486 @@
+"""The litmus corpus: small racy scenarios from PROTOCOL.md's race table.
+
+Each scenario is a declarative spec — per-thread traces for the four
+litmus threads (``c0``/``c1`` on CPU L1s, ``g0``/``g1`` on GPU L1s),
+an initial memory image, and optionally a tiny L1 size when capacity
+evictions are part of the race.  The same spec runs on all six Table V
+configurations; the explorer enumerates its message-delivery
+interleavings and checks every one (see :mod:`repro.verify.explorer`).
+
+Authoring discipline (enforced by the reference executor at first use):
+
+* scenarios must be DRF — conflicting plain accesses are ordered by
+  flag publication (release-store then spin) or atomics;
+* final memory must be schedule-independent (single hb-ordered writer
+  chain per data word, commutative atomics);
+* sync variables move through monotonically non-decreasing values, the
+  precondition of the legality pass's observed-join rule;
+* only plain data words may be seeded in ``initial`` — the reference
+  executor starts sync variables at 0.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..coherence.messages import atomic_add, atomic_exch, atomic_max
+from ..consistency.reference import ReferenceExecutor, ReferenceResult
+from ..workloads.trace import Op
+from .systems import THREAD_NAMES
+
+
+class ScenarioAuthoringError(Exception):
+    """The scenario itself is broken (racy or deadlocking)."""
+
+
+class LitmusScenario:
+    """One named scenario; ``spec()`` and ``reference()`` are cached so
+    op identities stay stable across every explored schedule."""
+
+    def __init__(self, name: str, build: Callable[[], Dict], doc: str,
+                 races: tuple = (), tags: tuple = ()):
+        self.name = name
+        self.build = build
+        self.doc = doc
+        self.races = races
+        self.tags = tags
+        self._spec: Optional[Dict] = None
+        self._reference: Optional[ReferenceResult] = None
+
+    def spec(self) -> Dict:
+        if self._spec is None:
+            spec = self.build()
+            spec.setdefault("initial", {})
+            unknown = set(spec["threads"]) - set(THREAD_NAMES)
+            if unknown:
+                raise ScenarioAuthoringError(
+                    f"{self.name}: unknown threads {sorted(unknown)}")
+            self._spec = spec
+        return self._spec
+
+    def traces(self) -> List[List[Op]]:
+        spec = self.spec()
+        return [spec["threads"].get(name, []) for name in THREAD_NAMES]
+
+    def reference(self) -> ReferenceResult:
+        if self._reference is None:
+            try:
+                result = ReferenceExecutor(self.traces()).run()
+            except RuntimeError as exc:
+                raise ScenarioAuthoringError(
+                    f"{self.name}: reference execution failed: {exc}"
+                ) from exc
+            if result.races:
+                raise ScenarioAuthoringError(
+                    f"{self.name}: scenario is racy: {result.races[:3]}")
+            self._reference = result
+        return self._reference
+
+
+CORPUS: List[LitmusScenario] = []
+
+
+def scenario_by_name(name: str) -> LitmusScenario:
+    for entry in CORPUS:
+        if entry.name == name:
+            return entry
+    raise KeyError(f"no litmus scenario named {name!r}")
+
+
+def litmus(name: str, doc: str, races: tuple = (), tags: tuple = ()):
+    def register(build: Callable[[], Dict]) -> Callable[[], Dict]:
+        CORPUS.append(LitmusScenario(name, build, doc, races, tags))
+        return build
+    return register
+
+
+# word addresses: one data line, one flag line, far enough apart that
+# they never share a cache set in the tiny verify L1s
+DATA = 0x1_0000          # words DATA+0x4*k share the line
+DATA2 = 0x1_0040         # a second, independent data line
+FLAG = 0x1_1000
+FLAG2 = 0x1_1040
+CNT = 0x1_2000
+#: eviction scenarios: 1 KB / 8-way L1 = 2 sets; stride 0x80 stays in
+#: the victim's set
+EV_BASE = 0x2_0000
+EV_STRIDE = 0x80
+TINY_L1 = 1024
+
+
+def _fillers(count: int = 9) -> List[Op]:
+    """Loads that evict EV_BASE's line from a TINY_L1 cache."""
+    return [Op.load(EV_BASE + (i + 1) * EV_STRIDE) for i in range(count)]
+
+
+# ---------------------------------------------------------------------
+# publication / handoff
+# ---------------------------------------------------------------------
+@litmus("mp-flag-handoff",
+        "CPU publishes a word to a GPU reader through a release-store "
+        "flag; the classic message-passing shape.",
+        races=("reqv-vs-owner",))
+def _mp_flag_handoff() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 41), Op.release_fence(), Op.store(FLAG, 1)],
+        "g0": [Op.spin_ge(FLAG, 1), Op.load(DATA)],
+    }}
+
+
+@litmus("mp-reverse-handoff",
+        "GPU write-through publication consumed by a CPU reader; the "
+        "flag crosses from the write-combining side.",
+        races=("reqwt-vs-owner",))
+def _mp_reverse_handoff() -> Dict:
+    return {"threads": {
+        "g0": [Op.store(DATA, 17), Op.release_fence(), Op.store(FLAG, 1)],
+        "c0": [Op.spin_ge(FLAG, 1), Op.load(DATA)],
+    }}
+
+
+@litmus("mp-rmw-handoff",
+        "Publication through a releasing RMW instead of a plain "
+        "release-store; the flag update is an atomic at the home for "
+        "GPU/DeNovo-llc devices and a local RMW for MESI.",
+        races=("atomic-vs-owner",))
+def _mp_rmw_handoff() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 7),
+               Op.rmw(FLAG, atomic_add(1), release=True)],
+        "g1": [Op.spin_ge(FLAG, 1), Op.load(DATA)],
+    }}
+
+
+@litmus("mp-exch-flag",
+        "Publication through a releasing atomic exchange (0 -> 1 is "
+        "monotonic, so the legality pass stays exact).")
+def _mp_exch_flag() -> Dict:
+    return {"threads": {
+        "g0": [Op.store(DATA, 23), Op.release_fence(),
+               Op.rmw(FLAG, atomic_exch(1), release=True)],
+        "c1": [Op.spin_ge(FLAG, 1), Op.load(DATA)],
+    }}
+
+
+@litmus("chain-handoff",
+        "Transitive happens-before across device classes: CPU -> GPU "
+        "-> CPU, each hop its own flag line.")
+def _chain_handoff() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 5), Op.release_fence(), Op.store(FLAG, 1)],
+        "g0": [Op.spin_ge(FLAG, 1), Op.load(DATA),
+               Op.store(DATA2, 6), Op.release_fence(),
+               Op.store(FLAG2, 1)],
+        "c1": [Op.spin_ge(FLAG2, 1), Op.load(DATA2), Op.load(DATA)],
+    }}
+
+
+@litmus("sb-coalesce-release",
+        "Three coalescing store-buffer entries must all be visible "
+        "before the release-store flag; exercises flush ordering.",
+        races=("wb-vs-flag",))
+def _sb_coalesce_release() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 1), Op.store(DATA + 4, 2),
+               Op.store(DATA + 8, 3), Op.release_fence(),
+               Op.store(FLAG, 1)],
+        "g1": [Op.spin_ge(FLAG, 1), Op.load(DATA), Op.load(DATA + 4),
+               Op.load(DATA + 8)],
+    }}
+
+
+@litmus("partial-line-wt",
+        "A sparse write-through mask (words 0, 4, 9 of one line) must "
+        "merge at the home without clobbering its neighbours.")
+def _partial_line_wt() -> Dict:
+    return {"threads": {
+        "g0": [Op.store(DATA, 11), Op.store(DATA + 16, 12),
+               Op.store(DATA + 36, 13), Op.release_fence(),
+               Op.store(FLAG, 1)],
+        "c0": [Op.spin_ge(FLAG, 1), Op.load(DATA), Op.load(DATA + 16),
+               Op.load(DATA + 36)],
+    }, "initial": {DATA + 4: 99, DATA + 60: 98}}
+
+
+@litmus("read-snapshot-reqv",
+        "A reader caches the whole line before publication (via an "
+        "untouched word), then must re-observe the published word "
+        "after its acquire — the self-invalidation obligation.",
+        races=("stale-valid",), tags=("kills:gpu-acquire-no-flash",))
+def _read_snapshot_reqv() -> Dict:
+    return {"threads": {
+        "g0": [Op.load(DATA + 4), Op.spin_ge(FLAG, 1), Op.load(DATA)],
+        "c0": [Op.store(DATA, 9), Op.release_fence(), Op.store(FLAG, 1)],
+    }, "initial": {DATA + 4: 55}}
+
+
+@litmus("spin-reload-staleness",
+        "The spinning read itself must not be satisfied forever from a "
+        "stale Valid copy; the flag line is read twice before and "
+        "after publication.",
+        tags=("kills:gpu-acquire-no-flash",))
+def _spin_reload_staleness() -> Dict:
+    return {"threads": {
+        "g1": [Op.load(FLAG + 4), Op.spin_ge(FLAG, 1), Op.load(DATA)],
+        "c1": [Op.store(DATA, 3), Op.release_fence(), Op.store(FLAG, 1)],
+    }, "initial": {FLAG + 4: 77}}
+
+
+# ---------------------------------------------------------------------
+# ownership movement and revocation
+# ---------------------------------------------------------------------
+@litmus("ownership-pingpong",
+        "Ownership of one word bounces c0 -> c1 -> c0 through a "
+        "monotonic turn variable; covers ReqO forwarding to a previous "
+        "owner and the reader observing both generations.",
+        races=("reqo-vs-owner",),
+        tags=("kills:denovo-reqo-keeps-owner",))
+def _ownership_pingpong() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 1), Op.release_fence(), Op.store(FLAG, 1),
+               Op.spin_ge(FLAG, 2), Op.load(DATA)],
+        "c1": [Op.spin_ge(FLAG, 1), Op.load(DATA), Op.store(DATA, 2),
+               Op.release_fence(), Op.store(FLAG, 2)],
+    }}
+
+
+@litmus("gpu-ownership-handoff",
+        "The ownership chain crosses device classes: CPU writes, GPU "
+        "overwrites, CPU reads back; on hierarchical configurations "
+        "this walks the GPU L2's dual role.",
+        races=("reqo-vs-owner", "reqwt-vs-owner"),
+        tags=("kills:denovo-reqo-keeps-owner",))
+def _gpu_ownership_handoff() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 10), Op.release_fence(),
+               Op.store(FLAG, 1), Op.spin_ge(FLAG, 2), Op.load(DATA)],
+        "g0": [Op.spin_ge(FLAG, 1), Op.store(DATA, 20),
+               Op.release_fence(), Op.store(FLAG, 2)],
+    }}
+
+
+@litmus("atomic-rvko",
+        "An atomic arrives at the home for a word a CPU owns: the home "
+        "must revoke (RvkO) and apply the RMW to the revoked data.",
+        races=("atomic-vs-owner",), tags=("kills:home-rvko-keeps-owner",))
+def _atomic_rvko() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 5), Op.release_fence(), Op.store(FLAG, 1)],
+        "g0": [Op.spin_ge(FLAG, 1), Op.rmw(DATA, atomic_add(1))],
+        "c1": [Op.spin_ge(DATA, 6), Op.load(DATA + 4)],
+    }, "initial": {DATA + 4: 44}}
+
+
+@litmus("atomic-counter",
+        "All four threads increment one counter with plain atomics; "
+        "the home serializes them whatever the schedule (final = 4).")
+def _atomic_counter() -> Dict:
+    bump = [Op.rmw(CNT, atomic_add(1))]
+    return {"threads": {name: list(bump) for name in THREAD_NAMES}}
+
+
+@litmus("atomic-max-merge",
+        "Commutative atomic_max from CPU and GPU sides; order-free "
+        "final value but every schedule exercises home serialization.")
+def _atomic_max_merge() -> Dict:
+    return {"threads": {
+        "c1": [Op.rmw(CNT, atomic_max(7))],
+        "g1": [Op.rmw(CNT, atomic_max(3))],
+    }}
+
+
+@litmus("atomics-home-vs-local",
+        "The same counter is bumped by a device that performs atomics "
+        "locally after acquiring ownership (MESI, DeNovo-own) and one "
+        "that always executes them at the home (GPU): the ownership "
+        "must move to the home and back.",
+        races=("atomic-vs-owner",))
+def _atomics_home_vs_local() -> Dict:
+    return {"threads": {
+        "c0": [Op.rmw(CNT, atomic_add(1)), Op.rmw(CNT, atomic_add(1))],
+        "g0": [Op.rmw(CNT, atomic_add(1))],
+    }}
+
+
+# ---------------------------------------------------------------------
+# write-backs racing forwarded requests
+# ---------------------------------------------------------------------
+@litmus("reqv-departed-owner",
+        "The owner-departed ReqV race (paper §III-C.3): the owner "
+        "capacity-evicts its owned word while a reader's ReqV is on its "
+        "way to the home.  On a per-link-FIFO network the forward "
+        "always beats the owner's RspWB receipt, so the Nack leg is "
+        "additionally forced via the home's deterministic forced-Nack "
+        "hook (force_nacks) to drive the requestor's retry/escalation "
+        "path every schedule.",
+        races=("reqv-vs-departed-owner", "wb-vs-fwd", "nack-retry"))
+def _reqv_departed_owner() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(EV_BASE, 31), Op.release_fence(),
+               Op.store(FLAG, 1)] + _fillers(),
+        "g0": [Op.spin_ge(FLAG, 1), Op.load(EV_BASE)],
+    }, "l1_size": TINY_L1, "force_nacks": 2}
+
+
+@litmus("wb-races-fwd-reqo",
+        "The previous owner's capacity ReqWB races the ReqO the home "
+        "forwarded to it on behalf of the next writer; whichever "
+        "arrives first, exactly one generation of data survives.",
+        races=("wb-vs-fwd", "reqo-vs-departed-owner"),
+        tags=("kills:home-stale-wb-applies",))
+def _wb_races_fwd_reqo() -> Dict:
+    # both writers evict (fillers), so the home ends up authoritative:
+    # a stale first-generation write-back applied late is then visible
+    # to the reader and the final-memory check, not masked by an owner
+    return {"threads": {
+        "c0": [Op.store(EV_BASE, 1), Op.release_fence(),
+               Op.store(FLAG, 1)] + _fillers(),
+        "c1": [Op.spin_ge(FLAG, 1), Op.store(EV_BASE, 2)] + _fillers() +
+              [Op.release_fence(), Op.store(FLAG2, 1)],
+        "g0": [Op.spin_ge(FLAG2, 1), Op.load(EV_BASE)],
+    }, "l1_size": TINY_L1}
+
+
+@litmus("wb-races-reqwt",
+        "The previous owner's capacity ReqWB races a GPU write-through "
+        "to the same word.  The home's ReqWT path overwrites the word "
+        "and clears the owner entry immediately (Figure 1d), so a "
+        "ReqWB arriving after it comes from a dead generation and must "
+        "be dropped (Table III, last row).",
+        races=("wb-vs-reqwt", "reqwt-vs-departed-owner"),
+        tags=("kills:home-stale-wb-applies",))
+def _wb_races_reqwt() -> Dict:
+    # c0 owns EV_BASE then capacity-evicts it; g0's write-through
+    # overwrites the word at the home.  When the home takes the ReqWT
+    # first it clears the owner entry on the spot, so no owner masks a
+    # buggy late apply of the stale in-flight ReqWB data — the final
+    # memory image and c1's read expose it directly.
+    #
+    # A direct-mapped L1 makes the eviction immediate (one conflicting
+    # load) and keeps the publication flag in a different set, so the
+    # ReqWB enters the network right after the flag's request and the
+    # ReqWT-vs-ReqWB arrival order at the home is a single shallow
+    # schedule choice.
+    return {"threads": {
+        "c0": [Op.store(EV_BASE, 1), Op.release_fence(),
+               Op.store(FLAG2, 1), Op.load(EV_BASE + 0x400)],
+        "g0": [Op.spin_ge(FLAG2, 1), Op.store(EV_BASE, 2),
+               Op.release_fence(), Op.store(FLAG, 1)],
+        "c1": [Op.spin_ge(FLAG, 1), Op.load(EV_BASE)],
+    }, "l1_size": TINY_L1, "l1_assoc": 1}
+
+
+@litmus("wb-then-reload",
+        "A writer evicts its own dirty/owned line and then reloads it; "
+        "the round trip must observe the written-back value.",
+        races=("wb-vs-reqv",))
+def _wb_then_reload() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(EV_BASE, 12)] + _fillers() +
+              [Op.load(EV_BASE), Op.release_fence(), Op.store(FLAG, 1)],
+        "g1": [Op.spin_ge(FLAG, 1), Op.load(EV_BASE)],
+    }, "l1_size": TINY_L1}
+
+
+@litmus("rvko-vs-wb",
+        "An atomic's revocation chases a word whose owner is mid "
+        "write-back; the RvkO and the ReqWB cross on the network.",
+        races=("rvko-vs-wb",), tags=("kills:home-rvko-keeps-owner",))
+def _rvko_vs_wb() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(EV_BASE, 4), Op.release_fence(),
+               Op.store(FLAG, 1)] + _fillers(),
+        "g0": [Op.spin_ge(FLAG, 1), Op.rmw(EV_BASE, atomic_add(10))],
+    }, "l1_size": TINY_L1}
+
+
+# ---------------------------------------------------------------------
+# line-granularity races (false sharing, MESI transients)
+# ---------------------------------------------------------------------
+@litmus("false-sharing-words",
+        "Four threads write four different words of one line with no "
+        "synchronization: word-granularity configurations commute, "
+        "line-granularity MESI must serialize ownership.",
+        races=("reqo-vs-reqo",))
+def _false_sharing_words() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 1)],
+        "c1": [Op.store(DATA + 4, 2)],
+        "g0": [Op.store(DATA + 8, 3)],
+        "g1": [Op.store(DATA + 12, 4)],
+    }}
+
+
+@litmus("fwd-gets-in-im",
+        "Ownership of a line chains c1 -> c0 while a third reader asks "
+        "for it: the directory's FwdGetS can reach c0 while c0's own "
+        "DataM still travels on c1's link, hitting IM (the defer rule). "
+        "Needs three same-line actors: two writers and a reader.",
+        races=("fwd-in-transient",), tags=("kills:mesi-fwd-defer-drop",))
+def _fwd_gets_in_im() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 8)],
+        "c1": [Op.store(DATA + 4, 9)],
+        "g0": [Op.load(DATA + 8)],
+    }, "initial": {DATA + 8: 66}}
+
+
+@litmus("fwd-getm-in-im",
+        "Two CPU writers and a GPU writer on different words of one "
+        "line: the GPU L2's GetM can be forwarded to a CPU whose own "
+        "grant is still in flight from the previous owner (IM-defer).",
+        races=("fwd-in-transient",), tags=("kills:mesi-fwd-defer-drop",))
+def _fwd_getm_in_im() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 21)],
+        "c1": [Op.store(DATA + 4, 22)],
+        "g1": [Op.store(DATA + 8, 23)],
+    }}
+
+
+@litmus("inv-vs-reqs",
+        "A reader's ReqS/GetS for one word crosses the invalidation "
+        "caused by a writer of a different word in the same line.",
+        races=("inv-vs-reqs",), tags=("kills:home-inv-skips-sharers",))
+def _inv_vs_reqs() -> Dict:
+    return {"threads": {
+        "c0": [Op.load(DATA), Op.spin_ge(FLAG, 1), Op.load(DATA)],
+        "c1": [Op.store(DATA + 4, 13), Op.release_fence(),
+               Op.store(FLAG, 1)],
+    }, "initial": {DATA: 2}}
+
+
+@litmus("reqwt-racing-reqo",
+        "A write-through word and an ownership-acquiring word in the "
+        "same line race: the home applies one and forwards around the "
+        "other without merging generations.",
+        races=("reqwt-vs-reqo",))
+def _reqwt_racing_reqo() -> Dict:
+    return {"threads": {
+        "g0": [Op.store(DATA, 71)],
+        "c0": [Op.store(DATA + 4, 72)],
+    }}
+
+
+@litmus("reqs-option1-owned",
+        "A MESI sharer asks for a line with DeNovo/GPU-owned words in "
+        "it: the home's ReqS option-1 path revokes per owner before "
+        "granting Shared.",
+        races=("reqs-vs-owner",))
+def _reqs_option1_owned() -> Dict:
+    return {"threads": {
+        "g0": [Op.store(DATA, 81), Op.release_fence(),
+               Op.store(FLAG, 1)],
+        "c0": [Op.spin_ge(FLAG, 1), Op.load(DATA), Op.load(DATA + 4)],
+        "c1": [Op.spin_ge(FLAG, 1), Op.load(DATA)],
+    }, "initial": {DATA + 4: 90}}
+
+
+@litmus("two-lines-independent",
+        "Writers on two unrelated lines: every message pair commutes, "
+        "so partial-order pruning should explore exactly one schedule.")
+def _two_lines_independent() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 1)],
+        "g0": [Op.store(DATA2, 2)],
+    }}

@@ -1,140 +1,16 @@
-"""Shared test harness: miniature systems for protocol-level tests.
+"""Back-compat re-export: the shared fixtures live in tests.systems.
 
-``MiniSpandex`` wires an engine, network, DRAM and Spandex LLC with a
-configurable set of device L1s (each behind its TU), letting tests
-drive individual Access objects and inspect protocol state without the
-full device models.  ``run()`` drains the event queue.
+Older test modules (and downstream branches) import ``MiniSpandex`` /
+``Completion`` / ``drive_until_accepted`` from here; the single source
+of truth for system construction is :mod:`tests.systems`.
 """
 
-from __future__ import annotations
-
-from typing import Dict, List, Optional
-
-from repro.coherence.messages import AtomicOp
-from repro.core.llc import SpandexLLC
-from repro.core.tu import make_tu
-from repro.mem.dram import MainMemory
-from repro.network.noc import LatencyModel, Network
-from repro.protocols.base import Access
-from repro.protocols.denovo import DeNovoL1
-from repro.protocols.gpu_coherence import GPUCoherenceL1
-from repro.protocols.mesi import MESIL1
-from repro.sim.engine import Engine
-from repro.sim.stats import StatsRegistry
-
-L1_CLASSES = {
-    "MESI": MESIL1,
-    "GPU": GPUCoherenceL1,
-    "DeNovo": DeNovoL1,
-}
-
-
-class MiniSpandex:
-    """A Spandex LLC plus named device caches behind TUs."""
-
-    def __init__(self, devices: Dict[str, str],
-                 llc_size: int = 256 * 1024, l1_size: int = 8 * 1024,
-                 coalesce_delay: int = 1, **l1_kwargs):
-        self.engine = Engine()
-        self.stats = StatsRegistry()
-        self.network = Network(self.engine, self.stats,
-                               LatencyModel(default=5))
-        self.dram = MainMemory(self.engine, self.stats, latency=20)
-        self.llc = SpandexLLC(self.engine, self.network, self.stats,
-                              self.dram, size_bytes=llc_size,
-                              access_latency=3)
-        self.l1s: Dict[str, object] = {}
-        self.tus: Dict[str, object] = {}
-        for name, family in devices.items():
-            cls = L1_CLASSES[family]
-            kwargs = dict(size_bytes=l1_size,
-                          coalesce_delay=coalesce_delay)
-            if family == "DeNovo":
-                kwargs["nack_retry_limit"] = 0
-            kwargs.update(l1_kwargs)
-            l1 = cls(self.engine, name, self.network, self.stats,
-                     home="llc", register_on_network=False, **kwargs)
-            tu = make_tu(self.engine, self.network, self.stats, l1)
-            self.llc.device_protocols[name] = l1.PROTOCOL_FAMILY
-            self.l1s[name] = l1
-            self.tus[name] = tu
-
-    # -- driving ---------------------------------------------------------
-    def run(self, until: Optional[int] = None,
-            max_events: int = 1_000_000) -> int:
-        return self.engine.run(until=until, max_events=max_events)
-
-    def load(self, device: str, line: int, mask: int,
-             invalidate_first: bool = False) -> "Completion":
-        completion = Completion()
-        access = Access("load", line, mask, callback=completion,
-                        invalidate_first=invalidate_first)
-        completion.accepted = self.l1s[device].try_access(access)
-        return completion
-
-    def store(self, device: str, line: int, mask: int,
-              values: Dict[int, int]) -> "Completion":
-        completion = Completion()
-        access = Access("store", line, mask, values=values,
-                        callback=completion)
-        completion.accepted = self.l1s[device].try_access(access)
-        return completion
-
-    def rmw(self, device: str, line: int, mask: int,
-            atomic: AtomicOp) -> "Completion":
-        completion = Completion()
-        access = Access("rmw", line, mask, atomic=atomic,
-                        callback=completion)
-        completion.accepted = self.l1s[device].try_access(access)
-        return completion
-
-    def release(self, device: str) -> "Completion":
-        completion = Completion()
-        self.l1s[device].fence_release(lambda: completion({}))
-        return completion
-
-    def acquire(self, device: str) -> "Completion":
-        completion = Completion()
-        self.l1s[device].fence_acquire(lambda: completion({}))
-        return completion
-
-    # -- inspection --------------------------------------------------------
-    def llc_line(self, line: int):
-        return self.llc.array.lookup(line, touch=False)
-
-    def llc_owner(self, line: int, index: int) -> Optional[str]:
-        resident = self.llc_line(line)
-        return resident.owner[index] if resident is not None else None
-
-    def llc_word(self, line: int, index: int) -> Optional[int]:
-        resident = self.llc_line(line)
-        return resident.data[index] if resident is not None else None
-
-    def seed(self, line: int, values: Dict[int, int]) -> None:
-        self.dram.poke(line, values)
-
-
-class Completion:
-    """Callback recorder: call state plus returned values."""
-
-    def __init__(self):
-        self.done = False
-        self.values: Dict[int, int] = {}
-        self.count = 0
-        self.accepted: Optional[bool] = None
-
-    def __call__(self, values: Dict[int, int]) -> None:
-        self.done = True
-        self.count += 1
-        self.values = dict(values)
-
-
-def drive_until_accepted(mini: MiniSpandex, fn, *args,
-                         attempts: int = 200, step: int = 5) -> Completion:
-    """Retry an access each ``step`` cycles until the L1 accepts it."""
-    for _ in range(attempts):
-        completion = fn(*args)
-        if completion.accepted:
-            return completion
-        mini.run(until=mini.engine.now + step)
-    raise AssertionError("access never accepted")
+from tests.systems import (  # noqa: F401
+    Completion,
+    L1_CLASSES,
+    MiniHier,
+    MiniSpandex,
+    drive_until_accepted,
+    make_sdd,
+    make_smg,
+)

@@ -7,8 +7,7 @@ from repro.core.home import HomeState
 from repro.protocols.denovo import DnState
 from repro.protocols.mesi import MesiState
 
-from tests.harness import MiniSpandex
-from tests.protocols.test_hierarchical import MiniHier
+from tests.systems import MiniHier, MiniSpandex
 
 LINE = 0x11000
 

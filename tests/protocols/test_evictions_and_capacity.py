@@ -10,8 +10,7 @@ import pytest
 from repro.coherence.messages import MsgKind, atomic_add
 from repro.core.home import HomeState
 
-from tests.harness import MiniSpandex
-from tests.protocols.test_hierarchical import MiniHier
+from tests.systems import MiniHier, MiniSpandex
 
 
 def spread_lines(count, set_stride):

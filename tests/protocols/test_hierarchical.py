@@ -5,73 +5,17 @@ Exercises the blocking directory transients and the GPU L2's dual role
 Spandex is evaluated against (paper §II-D, §IV-A).
 """
 
-from typing import Dict
 
 from repro.coherence.messages import atomic_add
 from repro.core.tu import make_tu
-from repro.mem.dram import MainMemory
-from repro.network.noc import LatencyModel, Network
-from repro.protocols.base import Access
 from repro.protocols.denovo import DeNovoL1, DnState
 from repro.protocols.gpu_coherence import GPUCoherenceL1
-from repro.protocols.gpu_l2 import GPUL2
 from repro.protocols.mesi import MESIL1, MesiState
 from repro.protocols.mesi_llc import DirState, MESIDirectoryLLC
-from repro.sim.engine import Engine
-from repro.sim.stats import StatsRegistry
 
-from tests.harness import Completion
+from tests.systems import MiniHier
 
 LINE = 0x2000
-
-
-class MiniHier:
-    """CPU MESI L1s + GPU L1s behind a GPU L2, over a directory L3."""
-
-    def __init__(self, cpus=1, gpus=1, gpu_protocol="GPU"):
-        self.engine = Engine()
-        self.stats = StatsRegistry()
-        self.network = Network(self.engine, self.stats,
-                               LatencyModel(default=5))
-        self.dram = MainMemory(self.engine, self.stats, latency=20)
-        self.l3 = MESIDirectoryLLC(self.engine, self.network, self.stats,
-                                   self.dram, size_bytes=256 * 1024,
-                                   access_latency=3)
-        self.gpu_l2 = GPUL2(self.engine, "gpu_l2", self.network,
-                            self.stats, size_bytes=64 * 1024,
-                            access_latency=2, l3_name="l3")
-        self.l1s: Dict[str, object] = {}
-        for i in range(cpus):
-            name = f"cpu{i}"
-            self.l1s[name] = MESIL1(
-                self.engine, name, self.network, self.stats, home="l3",
-                dialect="mesi", size_bytes=8 * 1024, coalesce_delay=1)
-        for i in range(gpus):
-            name = f"gpu{i}"
-            cls = GPUCoherenceL1 if gpu_protocol == "GPU" else DeNovoL1
-            kwargs = dict(size_bytes=8 * 1024, coalesce_delay=1)
-            if gpu_protocol == "DeNovo":
-                kwargs["nack_retry_limit"] = 3
-            l1 = cls(self.engine, name, self.network, self.stats,
-                     home="gpu_l2", **kwargs)
-            self.gpu_l2.device_protocols[name] = l1.PROTOCOL_FAMILY
-            self.l1s[name] = l1
-
-    def run(self, **kwargs):
-        return self.engine.run(max_events=kwargs.pop("max_events", 500_000),
-                               **kwargs)
-
-    def access(self, device, kind, line, mask, values=None, atomic=None):
-        completion = Completion()
-        access = Access(kind, line, mask, callback=completion,
-                        values=values or {}, atomic=atomic)
-        completion.accepted = self.l1s[device].try_access(access)
-        return completion
-
-    def release(self, device):
-        completion = Completion()
-        self.l1s[device].fence_release(lambda: completion({}))
-        return completion
 
 
 def test_cpu_gets_exclusive_then_shared():

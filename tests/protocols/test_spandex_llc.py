@@ -10,17 +10,9 @@ from repro.coherence.addr import FULL_LINE_MASK
 from repro.coherence.messages import atomic_add
 from repro.core.home import HomeState
 
-from tests.harness import Completion, MiniSpandex
+from tests.systems import MiniSpandex, make_sdd, make_smg
 
 LINE = 0x4000
-
-
-def make_sdd():
-    return MiniSpandex({"cpu": "DeNovo", "gpu": "DeNovo"})
-
-
-def make_smg():
-    return MiniSpandex({"cpu": "MESI", "gpu": "GPU"})
 
 
 # -- ReqV: no state transition, data response -------------------------------

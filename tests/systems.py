@@ -1,0 +1,216 @@
+"""Shared fixture module: miniature system builders for all test suites.
+
+Every protocol-level test drives one of two miniature systems:
+
+``MiniSpandex``
+    a Spandex LLC plus named device caches behind TUs (the paper's
+    integrated organization, §III);
+
+``MiniHier``
+    MESI CPU L1s and GPU L1s behind a GPU L2, over a blocking MESI
+    directory L3 (the hierarchical baseline, §II-D).
+
+Both expose the same driving surface (``run`` / ``load`` / ``store`` /
+``rmw`` / fences) plus inspection helpers, with :class:`Completion`
+recording callback delivery.  ``make_sdd`` / ``make_smg`` build the two
+most-used Table V device mixes.
+
+This is the single home for system-construction helpers — test modules
+import from here (or via the thin ``tests.harness`` re-export) instead
+of from each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.coherence.messages import AtomicOp
+from repro.core.llc import SpandexLLC
+from repro.core.tu import make_tu
+from repro.mem.dram import MainMemory
+from repro.network.noc import LatencyModel, Network
+from repro.protocols.base import Access
+from repro.protocols.denovo import DeNovoL1
+from repro.protocols.gpu_coherence import GPUCoherenceL1
+from repro.protocols.gpu_l2 import GPUL2
+from repro.protocols.mesi import MESIL1
+from repro.protocols.mesi_llc import MESIDirectoryLLC
+from repro.sim.engine import Engine
+from repro.sim.stats import StatsRegistry
+
+L1_CLASSES = {
+    "MESI": MESIL1,
+    "GPU": GPUCoherenceL1,
+    "DeNovo": DeNovoL1,
+}
+
+
+class Completion:
+    """Callback recorder: call state plus returned values."""
+
+    def __init__(self):
+        self.done = False
+        self.values: Dict[int, int] = {}
+        self.count = 0
+        self.accepted: Optional[bool] = None
+
+    def __call__(self, values: Dict[int, int]) -> None:
+        self.done = True
+        self.count += 1
+        self.values = dict(values)
+
+
+class MiniSpandex:
+    """A Spandex LLC plus named device caches behind TUs."""
+
+    def __init__(self, devices: Dict[str, str],
+                 llc_size: int = 256 * 1024, l1_size: int = 8 * 1024,
+                 coalesce_delay: int = 1, **l1_kwargs):
+        self.engine = Engine()
+        self.stats = StatsRegistry()
+        self.network = Network(self.engine, self.stats,
+                               LatencyModel(default=5))
+        self.dram = MainMemory(self.engine, self.stats, latency=20)
+        self.llc = SpandexLLC(self.engine, self.network, self.stats,
+                              self.dram, size_bytes=llc_size,
+                              access_latency=3)
+        self.l1s: Dict[str, object] = {}
+        self.tus: Dict[str, object] = {}
+        for name, family in devices.items():
+            cls = L1_CLASSES[family]
+            kwargs = dict(size_bytes=l1_size,
+                          coalesce_delay=coalesce_delay)
+            if family == "DeNovo":
+                kwargs["nack_retry_limit"] = 0
+            kwargs.update(l1_kwargs)
+            l1 = cls(self.engine, name, self.network, self.stats,
+                     home="llc", register_on_network=False, **kwargs)
+            tu = make_tu(self.engine, self.network, self.stats, l1)
+            self.llc.device_protocols[name] = l1.PROTOCOL_FAMILY
+            self.l1s[name] = l1
+            self.tus[name] = tu
+
+    # -- driving ---------------------------------------------------------
+    def run(self, until: Optional[int] = None,
+            max_events: int = 1_000_000) -> int:
+        return self.engine.run(until=until, max_events=max_events)
+
+    def load(self, device: str, line: int, mask: int,
+             invalidate_first: bool = False) -> "Completion":
+        completion = Completion()
+        access = Access("load", line, mask, callback=completion,
+                        invalidate_first=invalidate_first)
+        completion.accepted = self.l1s[device].try_access(access)
+        return completion
+
+    def store(self, device: str, line: int, mask: int,
+              values: Dict[int, int]) -> "Completion":
+        completion = Completion()
+        access = Access("store", line, mask, values=values,
+                        callback=completion)
+        completion.accepted = self.l1s[device].try_access(access)
+        return completion
+
+    def rmw(self, device: str, line: int, mask: int,
+            atomic: AtomicOp) -> "Completion":
+        completion = Completion()
+        access = Access("rmw", line, mask, atomic=atomic,
+                        callback=completion)
+        completion.accepted = self.l1s[device].try_access(access)
+        return completion
+
+    def release(self, device: str) -> "Completion":
+        completion = Completion()
+        self.l1s[device].fence_release(lambda: completion({}))
+        return completion
+
+    def acquire(self, device: str) -> "Completion":
+        completion = Completion()
+        self.l1s[device].fence_acquire(lambda: completion({}))
+        return completion
+
+    # -- inspection ------------------------------------------------------
+    def llc_line(self, line: int):
+        return self.llc.array.lookup(line, touch=False)
+
+    def llc_owner(self, line: int, index: int) -> Optional[str]:
+        resident = self.llc_line(line)
+        return resident.owner[index] if resident is not None else None
+
+    def llc_word(self, line: int, index: int) -> Optional[int]:
+        resident = self.llc_line(line)
+        return resident.data[index] if resident is not None else None
+
+    def seed(self, line: int, values: Dict[int, int]) -> None:
+        self.dram.poke(line, values)
+
+
+class MiniHier:
+    """CPU MESI L1s + GPU L1s behind a GPU L2, over a directory L3."""
+
+    def __init__(self, cpus=1, gpus=1, gpu_protocol="GPU"):
+        self.engine = Engine()
+        self.stats = StatsRegistry()
+        self.network = Network(self.engine, self.stats,
+                               LatencyModel(default=5))
+        self.dram = MainMemory(self.engine, self.stats, latency=20)
+        self.l3 = MESIDirectoryLLC(self.engine, self.network, self.stats,
+                                   self.dram, size_bytes=256 * 1024,
+                                   access_latency=3)
+        self.gpu_l2 = GPUL2(self.engine, "gpu_l2", self.network,
+                            self.stats, size_bytes=64 * 1024,
+                            access_latency=2, l3_name="l3")
+        self.l1s: Dict[str, object] = {}
+        for i in range(cpus):
+            name = f"cpu{i}"
+            self.l1s[name] = MESIL1(
+                self.engine, name, self.network, self.stats, home="l3",
+                dialect="mesi", size_bytes=8 * 1024, coalesce_delay=1)
+        for i in range(gpus):
+            name = f"gpu{i}"
+            cls = GPUCoherenceL1 if gpu_protocol == "GPU" else DeNovoL1
+            kwargs = dict(size_bytes=8 * 1024, coalesce_delay=1)
+            if gpu_protocol == "DeNovo":
+                kwargs["nack_retry_limit"] = 3
+            l1 = cls(self.engine, name, self.network, self.stats,
+                     home="gpu_l2", **kwargs)
+            self.gpu_l2.device_protocols[name] = l1.PROTOCOL_FAMILY
+            self.l1s[name] = l1
+
+    def run(self, **kwargs):
+        return self.engine.run(max_events=kwargs.pop("max_events", 500_000),
+                               **kwargs)
+
+    def access(self, device, kind, line, mask, values=None, atomic=None):
+        completion = Completion()
+        access = Access(kind, line, mask, callback=completion,
+                        values=values or {}, atomic=atomic)
+        completion.accepted = self.l1s[device].try_access(access)
+        return completion
+
+    def release(self, device):
+        completion = Completion()
+        self.l1s[device].fence_release(lambda: completion({}))
+        return completion
+
+
+# -- Table V convenience mixes ------------------------------------------
+def make_sdd() -> MiniSpandex:
+    """Spandex LLC with a DeNovo CPU and a DeNovo GPU (Table V SDD)."""
+    return MiniSpandex({"cpu": "DeNovo", "gpu": "DeNovo"})
+
+
+def make_smg() -> MiniSpandex:
+    """Spandex LLC with a MESI CPU and a GPU-coherence GPU (SMG)."""
+    return MiniSpandex({"cpu": "MESI", "gpu": "GPU"})
+
+
+def drive_until_accepted(mini: MiniSpandex, fn, *args,
+                         attempts: int = 200, step: int = 5) -> Completion:
+    """Retry an access each ``step`` cycles until the L1 accepts it."""
+    for _ in range(attempts):
+        completion = fn(*args)
+        if completion.accepted:
+            return completion
+        mini.run(until=mini.engine.now + step)
+    raise AssertionError("access never accepted")

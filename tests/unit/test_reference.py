@@ -113,3 +113,59 @@ def test_compute_and_acquire_ops_are_neutral():
     trace = [Op.compute(100), Op.acquire_fence(), Op.store(0x100, 1)]
     result = ReferenceExecutor([trace]).run()
     assert result.value(0x100) == 1
+
+
+# -- edge cases: spin deadlock, release-window scope, clock asymmetry --------
+def test_spin_on_never_released_sync_var_deadlocks():
+    # The flag is written, but never past the spin threshold: the
+    # executor must report the deadlock instead of spinning forever,
+    # even though the writer thread itself completes.
+    flag = 0x200
+    t0 = [Op.store(0x100, 1), Op.release_fence(), Op.store(flag, 1)]
+    t1 = [Op.spin_ge(flag, 2), Op.load(0x100)]
+    with pytest.raises(RuntimeError, match="deadlock"):
+        ReferenceExecutor([t0, t1]).run()
+
+
+def test_release_fence_covers_only_next_store():
+    # A release fence publishes through the NEXT plain store only; a
+    # later store to a second flag is a plain write, so consuming that
+    # second flag does not order the data access.
+    data, flag_a, flag_b = 0x100, 0x200, 0x204
+    t0 = [Op.store(data, 7), Op.release_fence(),
+          Op.store(flag_a, 1), Op.store(flag_b, 1)]
+    t1 = [Op.spin_ge(flag_b, 1), Op.load(data)]
+    result = ReferenceExecutor([t0, t1]).run()
+    assert any("0x100" in race for race in result.races)
+
+
+def test_release_fence_publication_via_first_store():
+    # ... whereas consuming the fenced store itself is properly ordered.
+    data, flag_a = 0x100, 0x200
+    t0 = [Op.store(data, 7), Op.release_fence(), Op.store(flag_a, 1)]
+    t1 = [Op.spin_ge(flag_a, 1), Op.load(data)]
+    result = ReferenceExecutor([t0, t1]).run()
+    assert not result.races
+    assert result.value(data) == 7
+
+
+def test_happens_before_is_asymmetric_for_concurrent_clocks():
+    a, b = VectorClock(2), VectorClock(2)
+    a.ticks = [1, 0]
+    b.ticks = [0, 1]
+    # concurrent: neither orders the other — asymmetry must hold both
+    # ways, not collapse to "not hb means hb the other way"
+    assert not a.happens_before(b)
+    assert not b.happens_before(a)
+    # reflexivity: every clock happens-before itself (<= not <)
+    assert a.happens_before(a)
+
+
+def test_spin_join_sees_only_released_history():
+    # A spin that succeeds on a value published WITHOUT a release does
+    # not acquire the writer's history: the data access behind it races.
+    data, flag = 0x100, 0x200
+    t0 = [Op.store(data, 3), Op.store(flag, 1)]     # no release fence
+    t1 = [Op.spin_ge(flag, 1), Op.load(data)]
+    result = ReferenceExecutor([t0, t1]).run()
+    assert any("0x100" in race for race in result.races)

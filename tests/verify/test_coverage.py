@@ -1,0 +1,74 @@
+"""FSM transition coverage: the corpus must visit >= 90 % of the
+curated reachable (state, event) pairs in each of the four FSMs the
+acceptance bar names, with unvisited pairs listed by name.
+
+Tier-1 scores a deterministic run (default schedule on all six
+configurations plus a small DFS on two); the ``slow`` suite re-runs
+the curation-sized sweep, which visits the table exactly.
+"""
+
+import pytest
+
+from repro.system.config import CONFIGS
+from repro.verify import (CORPUS, CoverageRecorder, DfsExplorer,
+                          coverage_report, format_coverage, run_schedule)
+from repro.verify.coverage import (DENOVO_L1, GPU_L1, MESI_L1,
+                                   REACHABLE_PAIRS, SPANDEX_HOME)
+
+REQUIRED_FSMS = (MESI_L1, DENOVO_L1, GPU_L1, SPANDEX_HOME)
+
+
+def _tier1_recorder() -> CoverageRecorder:
+    recorder = CoverageRecorder()
+    for scenario in CORPUS:
+        for config_name in CONFIGS:
+            run_schedule(scenario, config_name, None, coverage=recorder)
+    for scenario in CORPUS:
+        for config_name in ("SMG", "HMG"):
+            DfsExplorer(max_schedules=12).explore(scenario, config_name,
+                                                  coverage=recorder)
+    return recorder
+
+
+@pytest.mark.tier1
+def test_reachable_tables_are_curated():
+    for fsm in REQUIRED_FSMS:
+        assert REACHABLE_PAIRS[fsm], f"{fsm} table is empty"
+
+
+@pytest.mark.tier1
+def test_transition_coverage_meets_bar():
+    recorder = _tier1_recorder()
+    report = coverage_report(recorder)
+    rendered = format_coverage(report)
+    for fsm in REQUIRED_FSMS:
+        entry = report[fsm]
+        # unvisited pairs are listed by name in the rendered report
+        for state, event in entry["unvisited"]:
+            assert f"({state}, {event})" in rendered
+        assert entry["percent"] >= 90.0, rendered
+
+
+@pytest.mark.tier1
+def test_report_names_unvisited_pairs():
+    recorder = CoverageRecorder()            # nothing visited
+    report = coverage_report(recorder)
+    rendered = format_coverage(report)
+    for fsm in REQUIRED_FSMS:
+        assert report[fsm]["percent"] == 0.0
+        assert report[fsm]["unvisited"]
+    assert "UNVISITED" in rendered
+
+
+@pytest.mark.slow
+def test_curation_sweep_visits_table_exactly():
+    recorder = CoverageRecorder()
+    for scenario in CORPUS:
+        for config_name in CONFIGS:
+            DfsExplorer(max_schedules=40).explore(scenario, config_name,
+                                                  coverage=recorder)
+    report = coverage_report(recorder)
+    for fsm in REQUIRED_FSMS:
+        entry = report[fsm]
+        assert entry["percent"] == 100.0, format_coverage(report)
+        assert not entry["extra"], format_coverage(report)

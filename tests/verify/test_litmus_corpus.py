@@ -1,0 +1,46 @@
+"""Tier-1 litmus sweep: every scenario, every Table V configuration.
+
+Each scenario runs under the fair canonical delivery schedule on all
+six configurations and must pass the full check stack (invariants,
+final memory vs the DRF reference image, per-load value legality).
+Schedule *exploration* lives in test_explorer.py; this file is the
+cheap always-on gate plus corpus authoring discipline.
+"""
+
+import pytest
+
+from repro.system.config import CONFIGS
+from repro.verify import CORPUS, run_schedule, scenario_by_name
+
+pytestmark = pytest.mark.tier1
+
+CONFIG_NAMES = tuple(CONFIGS)
+
+
+def test_corpus_is_large_enough():
+    assert len(CORPUS) >= 20
+
+
+def test_scenario_names_are_unique():
+    names = [scenario.name for scenario in CORPUS]
+    assert len(names) == len(set(names))
+
+
+@pytest.mark.parametrize("scenario", CORPUS, ids=lambda s: s.name)
+def test_scenarios_are_drf(scenario):
+    # authoring discipline: reference execution must succeed and be
+    # race-free, otherwise the checks downstream are meaningless
+    result = scenario.reference()
+    assert not result.races
+
+
+@pytest.mark.parametrize("config_name", CONFIG_NAMES)
+@pytest.mark.parametrize("scenario", CORPUS, ids=lambda s: s.name)
+def test_default_schedule_passes(scenario, config_name):
+    run_schedule(scenario, config_name, None)
+
+
+def test_scenario_by_name_roundtrip():
+    assert scenario_by_name(CORPUS[0].name) is CORPUS[0]
+    with pytest.raises(KeyError):
+        scenario_by_name("no-such-scenario")
