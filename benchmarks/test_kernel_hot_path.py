@@ -1,0 +1,86 @@
+"""Kernel hot-path benchmark-regression harness.
+
+The event-loop overhaul (indexed queue, message fast path — see
+``repro.sim.engine``) is pinned three ways:
+
+1. **Machine-independent speedup**: the optimized kernel against the
+   seed-algorithm :class:`repro.sim.reference.ReferenceEngine` on an
+   identical idle-heavy churn schedule, in one process.  The ratio must
+   stay >= 1.5x (it is ~20x on the pathology the overhaul removed) and
+   both kernels must execute the identical event sequence.
+2. **Determinism**: the executed-event counts of the end-to-end cases
+   (figure-2 sweep across all six Table V configurations, plus the
+   fault-injection churn case) must match ``results/BENCH_kernel.json``
+   exactly — a drift means simulation behaviour changed, and that
+   always fails.
+3. **Throughput**: events/sec must stay within the tolerance of the
+   baseline.  Wall clock is machine-dependent, so this check only
+   fails when ``REPRO_BENCH_ENFORCE=1`` (set in CI, whose runners the
+   baseline was calibrated for); elsewhere it reports.
+
+The current measurement is written to
+``results/BENCH_kernel_current.json`` so CI can upload it as an
+artifact (and a maintainer can promote it to the new baseline with
+``python -m repro bench --update-baseline``).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import kernelbench
+
+from conftest import RESULTS_DIR
+
+
+@pytest.fixture(scope="module")
+def payload():
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+    measured = kernelbench.run_kernel_bench(repeats=repeats)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "BENCH_kernel_current.json", "w") as handle:
+        json.dump(measured, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print()
+    print(kernelbench.format_report(measured))
+    return measured
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    stored = kernelbench.load_baseline()
+    if stored is None:
+        pytest.skip("no stored baseline (results/BENCH_kernel.json)")
+    return stored
+
+
+def test_kernel_speedup_vs_reference(payload):
+    """The indexed queue must beat the seed rescan loop by >= 1.5x."""
+    speedup = payload["kernel_speedup"]
+    assert speedup["events"] > 0
+    assert speedup["speedup"] >= 1.5, (
+        f"kernel speedup vs the seed reference fell to "
+        f"{speedup['speedup']:.2f}x")
+
+
+def test_cases_executed_real_work(payload):
+    for name, case in payload["cases"].items():
+        assert case["events"] > 10_000, (name, case)
+        assert case["events_per_sec"] > 0, (name, case)
+
+
+def test_event_counts_match_baseline(payload, baseline):
+    """Executed-event drift = behaviour change; always enforced."""
+    behavior, _ = kernelbench.compare_to_baseline(payload, baseline)
+    assert not behavior, behavior
+
+
+def test_events_per_sec_within_tolerance(payload, baseline):
+    """Throughput gate; opt-in because wall clock is machine-bound."""
+    _, regressions = kernelbench.compare_to_baseline(payload, baseline)
+    if not kernelbench.enforcing():
+        if regressions:
+            print("\n".join("not enforced: " + r for r in regressions))
+        pytest.skip("REPRO_BENCH_ENFORCE!=1: reporting only")
+    assert not regressions, regressions

@@ -1,0 +1,298 @@
+"""Kernel hot-path benchmark: events/second with a regression baseline.
+
+The simulation kernel was overhauled for throughput (indexed event
+queue, message fast path — see ``repro.sim.engine``); this module pins
+the win so it cannot silently regress.  Two kinds of measurement:
+
+* **end-to-end sweeps** — events/second over real systems: the figure-2
+  microbenchmark sweep across all six Table V configurations, and a
+  churn-heavy fault-injection case (message jitter + forced Nacks).
+  Wall-clock throughput is machine-dependent, so comparisons against
+  the stored baseline (``results/BENCH_kernel.json``) use a tolerance
+  and are enforced only when the caller opts in
+  (``REPRO_BENCH_ENFORCE=1`` in CI, which runs on uniform hardware);
+
+* **differential kernel measurement** — the optimized engine against
+  the seed-algorithm :class:`repro.sim.reference.ReferenceEngine` on an
+  identical event-churn schedule in the same process.  The *ratio* of
+  the two is machine-independent, which is how the >= 1.5x claim is
+  asserted in CI regardless of runner speed.
+
+Every case also records its executed-event count.  Event counts are
+deterministic, so a count drift against the baseline means simulation
+*behaviour* changed — that check is exact and always enforced.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import pathlib
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List, Optional
+
+from ..sim.engine import Engine
+from ..sim.reference import ReferenceEngine
+from ..system import (CONFIG_ORDER, FaultConfig, build_system,
+                      scaled_config)
+from ..system import builder as _builder
+from ..workloads import MICROBENCHMARKS
+
+#: the figure-2 sweep used as the headline throughput measurement
+BENCH_WORKLOADS = ("Indirection", "ReuseO", "ReuseS")
+#: small scale: the whole sweep stays a few seconds per repeat
+BENCH_SCALE = dict(num_cpus=2, num_gpus=2, warps_per_cu=2)
+#: churn case: fault injection on the two LLC families
+FAULT_CONFIGS = ("SMG", "HMG")
+FAULT_SEED = 7
+#: tolerated events/sec drop vs the baseline before CI fails
+DEFAULT_TOLERANCE = 0.15
+
+BASELINE_NAME = "BENCH_kernel.json"
+
+
+@contextmanager
+def use_engine(engine_cls):
+    """Build systems on a different kernel (differential measurement)."""
+    original = _builder.Engine
+    _builder.Engine = engine_cls
+    try:
+        yield
+    finally:
+        _builder.Engine = original
+
+
+def _run_figure2_sweep() -> int:
+    """One pass of the figure-2 sweep; returns executed events."""
+    events = 0
+    for wname in BENCH_WORKLOADS:
+        for cname in CONFIG_ORDER:
+            workload = MICROBENCHMARKS[wname](**BENCH_SCALE)
+            system = build_system(scaled_config(
+                cname, BENCH_SCALE["num_cpus"], BENCH_SCALE["num_gpus"]))
+            system.load_workload(workload)
+            system.run(max_events=60_000_000)
+            events += system.engine.events_executed
+    return events
+
+
+def _run_fault_churn() -> int:
+    """Fault-injected runs: retry/Nack churn through the scheduler."""
+    events = 0
+    for cname in FAULT_CONFIGS:
+        workload = MICROBENCHMARKS["ReuseS"](**BENCH_SCALE)
+        system = build_system(scaled_config(
+            cname, BENCH_SCALE["num_cpus"], BENCH_SCALE["num_gpus"],
+            faults=FaultConfig.stress(FAULT_SEED)))
+        system.load_workload(workload)
+        system.run(max_events=60_000_000)
+        events += system.engine.events_executed
+    return events
+
+
+CASES: Dict[str, Callable[[], int]] = {
+    "figure2_sweep": _run_figure2_sweep,
+    "fault_churn": _run_fault_churn,
+}
+
+
+def _measure(case: Callable[[], int], repeats: int) -> Dict[str, object]:
+    """Best-of-``repeats`` wall time (minimum suppresses machine noise;
+    the event count must be identical across repeats)."""
+    events: Optional[int] = None
+    runs: List[float] = []
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        got = case()
+        runs.append(time.perf_counter() - t0)
+        if events is None:
+            events = got
+        elif got != events:
+            raise AssertionError(
+                f"non-deterministic event count: {got} != {events}")
+    best = min(runs)
+    return {
+        "events": events,
+        "best_seconds": round(best, 4),
+        "events_per_sec": round(events / best, 1),
+        "runs_seconds": [round(r, 4) for r in runs],
+    }
+
+
+def kernel_speedup_vs_reference(n_background: int = 1000,
+                                n_ticks: int = 1000,
+                                churn: int = 4,
+                                repeats: int = 2) -> Dict[str, object]:
+    """Run identical event churn on both kernels; return the speedup.
+
+    The schedule reproduces the seed kernel's pathology: a heap held
+    large by ``n_background`` far-future *idle* housekeeping events
+    (periodic audit/watchdog ticks) while ``n_ticks`` periodic idle
+    ticks each force the seed's O(heap) may-housekeeping-run rescan,
+    plus ``churn`` cancel-and-reschedule pairs per tick (the NACK-retry
+    pattern that grew the seed heap without bound — cancelled events
+    are dead weight the scan must step over).  Both kernels must
+    execute the same events in the same order — the run returns each
+    kernel's execution fingerprint along with its wall time.
+    """
+
+    def drive(engine) -> Dict[str, object]:
+        order: List[int] = []
+        horizon = n_ticks + 10
+
+        # far-future housekeeping: a heap full of idle events the seed
+        # rescan has to step over looking for real work
+        for i in range(n_background):
+            engine.schedule(horizon + i, order.append, "audit",
+                            idle=True, args=(i,))
+        # one real-work sentinel keeps the simulation live throughout
+        engine.schedule(horizon + n_background + n_ticks * churn + 1,
+                        order.append, "sentinel", args=(-999,))
+
+        pending_churn: List[object] = []
+
+        def tick(i: int) -> None:
+            order.append(-1 - i)
+            for event in pending_churn:
+                event.cancel()
+            pending_churn.clear()
+            for c in range(churn):
+                pending_churn.append(engine.schedule(
+                    horizon + n_background + i * churn + c,
+                    order.append, "churn", args=(-1,)))
+            if i + 1 < n_ticks:
+                engine.schedule(1, tick, "tick", idle=True,
+                                args=(i + 1,))
+
+        engine.schedule(1, tick, "tick", idle=True, args=(0,))
+        gc.collect()        # keep a prior case's garbage off the clock
+        t0 = time.perf_counter()
+        engine.run()
+        seconds = time.perf_counter() - t0
+        return {"seconds": seconds, "order": order,
+                "events": engine.events_executed}
+
+    def best(engine_cls) -> Dict[str, object]:
+        runs = [drive(engine_cls()) for _ in range(max(1, repeats))]
+        for run in runs[1:]:
+            if run["order"] != runs[0]["order"]:
+                raise AssertionError(
+                    f"{engine_cls.__name__} executed the same schedule "
+                    "in two different orders")
+        return min(runs, key=lambda run: run["seconds"])
+
+    reference = best(ReferenceEngine)
+    optimized = best(Engine)
+    if reference["order"] != optimized["order"]:
+        raise AssertionError(
+            "reference and optimized kernels diverged on the same "
+            "schedule")
+    return {
+        "events": optimized["events"],
+        "reference_seconds": round(reference["seconds"], 4),
+        "optimized_seconds": round(optimized["seconds"], 4),
+        "speedup": round(reference["seconds"]
+                         / max(optimized["seconds"], 1e-9), 2),
+    }
+
+
+def run_kernel_bench(repeats: int = 3,
+                     include_speedup: bool = True) -> Dict[str, object]:
+    """Measure every case; return the JSON-serializable payload."""
+    payload: Dict[str, object] = {
+        "scale": dict(BENCH_SCALE),
+        "repeats": repeats,
+        "cases": {name: _measure(case, repeats)
+                  for name, case in CASES.items()},
+    }
+    if include_speedup:
+        payload["kernel_speedup"] = kernel_speedup_vs_reference()
+    return payload
+
+
+def default_baseline_path() -> pathlib.Path:
+    """``results/BENCH_kernel.json`` next to the package checkout."""
+    root = pathlib.Path(__file__).resolve().parents[3]
+    return root / "results" / BASELINE_NAME
+
+
+def load_baseline(path=None) -> Optional[Dict[str, object]]:
+    path = pathlib.Path(path) if path else default_baseline_path()
+    if not path.exists():
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def save_baseline(payload: Dict[str, object], path=None) -> pathlib.Path:
+    path = pathlib.Path(path) if path else default_baseline_path()
+    path.parent.mkdir(exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def compare_to_baseline(payload: Dict[str, object],
+                        baseline: Dict[str, object],
+                        tolerance: float = DEFAULT_TOLERANCE):
+    """Compare a run against the stored baseline.
+
+    Returns ``(behavior_changes, regressions)``: exact executed-event
+    mismatches (always fatal — the simulation changed behaviour) and
+    events/sec drops beyond ``tolerance`` (fatal only when throughput
+    enforcement is on — wall clock is machine-dependent).
+    """
+    behavior: List[str] = []
+    regressions: List[str] = []
+    base_cases = baseline.get("cases", {})
+    for name, current in payload.get("cases", {}).items():
+        base = base_cases.get(name)
+        if base is None:
+            continue
+        if base.get("events") != current["events"]:
+            behavior.append(
+                f"{name}: executed events changed "
+                f"{base.get('events')} -> {current['events']}")
+        floor = base.get("events_per_sec", 0) * (1 - tolerance)
+        if current["events_per_sec"] < floor:
+            regressions.append(
+                f"{name}: {current['events_per_sec']:,.0f} ev/s is "
+                f"below {floor:,.0f} "
+                f"(baseline {base['events_per_sec']:,.0f} "
+                f"- {tolerance:.0%})")
+    base_speedup = baseline.get("kernel_speedup", {}).get("speedup")
+    speedup = payload.get("kernel_speedup", {}).get("speedup")
+    if base_speedup is not None and speedup is not None \
+            and speedup < 1.5:
+        regressions.append(
+            f"kernel speedup vs reference fell to {speedup:.2f}x "
+            f"(< 1.5x; baseline {base_speedup:.2f}x)")
+    return behavior, regressions
+
+
+def enforcing() -> bool:
+    """Whether throughput regressions should fail (CI opt-in)."""
+    return os.environ.get("REPRO_BENCH_ENFORCE", "") == "1"
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    lines = ["kernel hot-path benchmark "
+             f"(scale {payload['scale']}, "
+             f"best of {payload['repeats']}):"]
+    for name, case in payload["cases"].items():
+        lines.append(
+            f"  {name:<14} {case['events']:>10,} events  "
+            f"{case['best_seconds']:>8.3f}s  "
+            f"{case['events_per_sec']:>12,.0f} ev/s")
+    speedup = payload.get("kernel_speedup")
+    if speedup:
+        lines.append(
+            f"  kernel speedup vs seed reference: "
+            f"{speedup['speedup']:.2f}x "
+            f"({speedup['reference_seconds']:.3f}s -> "
+            f"{speedup['optimized_seconds']:.3f}s on "
+            f"{speedup['events']:,} events)")
+    return "\n".join(lines)

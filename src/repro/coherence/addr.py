@@ -8,7 +8,7 @@ with bit *i* set when word *i* of the line is targeted.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, List, Tuple
 
 LINE_BYTES = 64
 WORD_BYTES = 4
@@ -45,19 +45,41 @@ def mask_of_words(indices: Iterable[int]) -> int:
     return mask
 
 
-def iter_mask(mask: int) -> Iterator[int]:
-    """Yield the word indices set in ``mask``, ascending."""
-    index = 0
-    while mask:
-        if mask & 1:
-            yield index
-        mask >>= 1
-        index += 1
+#: mask -> tuple of set word indices; at most 2^16 entries, shared by
+#: every iter_mask caller (word loops dominate the protocol hot paths).
+_MASK_WORDS: dict = {}
+
+
+def iter_mask(mask: int) -> Tuple[int, ...]:
+    """The word indices set in ``mask``, ascending.
+
+    Returns a cached immutable tuple (word masks are 16-bit, so the
+    memo is bounded); callers iterate or index it like any sequence.
+    """
+    words = _MASK_WORDS.get(mask)
+    if words is None:
+        indices = []
+        index = 0
+        bits = mask
+        while bits:
+            if bits & 1:
+                indices.append(index)
+            bits >>= 1
+            index += 1
+        words = _MASK_WORDS[mask] = tuple(indices)
+    return words
+
+
+try:
+    _bit_count = int.bit_count          # Python >= 3.10: one C call
+except AttributeError:                  # pragma: no cover - 3.9 fallback
+    def _bit_count(mask: int) -> int:
+        return bin(mask).count("1")
 
 
 def popcount(mask: int) -> int:
     """Number of words selected by ``mask``."""
-    return bin(mask).count("1")
+    return _bit_count(mask)
 
 
 def split_line_range(base: int, nbytes: int) -> List[Tuple[int, int]]:

@@ -23,7 +23,17 @@ from .addr import FULL_LINE_MASK, popcount
 
 
 class MsgKind(enum.Enum):
-    """All message kinds crossing the network."""
+    """All message kinds crossing the network.
+
+    Kinds key every hot dispatch table in the simulator (traffic
+    classes, response pairing, per-protocol handlers), so hashing goes
+    through the C identity hash instead of ``Enum.__hash__``'s
+    Python-level name hash — members are singletons, making the two
+    equivalent, and dict/iteration order never depends on hash values
+    within a process.
+    """
+
+    __hash__ = object.__hash__
 
     # -- Spandex device requests (Table II) --
     REQ_V = "ReqV"

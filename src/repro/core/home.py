@@ -36,6 +36,10 @@ from ..sim.stats import StatsRegistry
 
 
 class HomeState(enum.Enum):
+    """Per-word LLC states; hot-path dict keys, so identity hash."""
+
+    __hash__ = object.__hash__
+
     I = "I"
     V = "V"
     S = "S"
@@ -78,6 +82,10 @@ class HomeTxn:
         return self.acks_needed == 0 and self.data_mask == 0
 
 
+#: hoisted probe-response kinds (checked on every home dispatch)
+_PROBE_RESPONSES = (MsgKind.ACK, MsgKind.RSP_RVK_O)
+
+
 class SpandexHome(Component):
     """Shared Spandex home-node machinery (see module docstring)."""
 
@@ -114,6 +122,13 @@ class SpandexHome(Component):
         #: optional deterministic fault injector (repro.faults): forces
         #: spurious Nacks on ReqV to stress requestor retry paths
         self.fault_injector = None
+        #: MsgKind -> bound handler (request path is hot); built lazily
+        #: on the first request so subclass overrides AND handlers
+        #: patched onto the instance/class after construction (fault
+        #: tests, protocol mutants) are all honoured
+        self._req_dispatch: Optional[Dict[MsgKind, Callable]] = None
+        #: MsgKind -> cached "home:<kind>" event label (receive is hot)
+        self._dispatch_labels: Dict[MsgKind, str] = {}
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -145,11 +160,15 @@ class SpandexHome(Component):
             tracer.record("home.busy", self.name, line=msg.line,
                           req_id=msg.req_id, dur=delay,
                           info=msg.kind.value)
-        self.schedule(delay, lambda: self._dispatch(msg),
-                      label=f"home:{msg.kind.value}")
+        label = self._dispatch_labels.get(msg.kind)
+        if label is None:
+            label = self._dispatch_labels[msg.kind] = \
+                f"home:{msg.kind.value}"
+        self.engine.schedule(delay, self._dispatch, (self.name, label),
+                              False, (msg,))
 
     def _dispatch(self, msg: Message) -> None:
-        if msg.kind in (MsgKind.ACK, MsgKind.RSP_RVK_O):
+        if msg.kind in _PROBE_RESPONSES:
             self._handle_probe_response(msg)
             return
         if msg.kind in TABLE_III:
@@ -205,13 +224,18 @@ class SpandexHome(Component):
     def _set_word_owner(self, line_obj: CacheLine, index: int,
                         owner: Optional[str]) -> None:
         """Update a word's owner, pinning owned lines (inclusivity)."""
-        had = any(o is not None for o in line_obj.owner)
-        line_obj.owner[index] = owner
-        has = any(o is not None for o in line_obj.owner)
-        if has and not had:
-            line_obj.pin()
-        elif had and not has:
-            line_obj.unpin()
+        owners = line_obj.owner
+        old = owners[index]
+        owners[index] = owner
+        if (owner is None) == (old is None):
+            return      # owned-word count unchanged: pin state holds
+        others = any(o is not None for i, o in enumerate(owners)
+                     if i != index)
+        if owner is not None:
+            if not others:
+                line_obj.pin()      # first owned word pins the line
+        elif not others:
+            line_obj.unpin()        # last owned word released
 
     def _owned_mask(self, line_obj: CacheLine) -> int:
         mask = 0
@@ -395,15 +419,17 @@ class SpandexHome(Component):
         line_obj = self._ensure_resident(msg)
         if line_obj is None:
             return
-        handler = {
-            MsgKind.REQ_V: self._handle_reqv,
-            MsgKind.REQ_S: self._handle_reqs,
-            MsgKind.REQ_WT: self._handle_write,
-            MsgKind.REQ_O: self._handle_write,
-            MsgKind.REQ_WT_DATA: self._handle_atomic,
-            MsgKind.REQ_O_DATA: self._handle_write,
-        }[msg.kind]
-        handler(msg, line_obj)
+        dispatch = self._req_dispatch
+        if dispatch is None:
+            dispatch = self._req_dispatch = {
+                MsgKind.REQ_V: self._handle_reqv,
+                MsgKind.REQ_S: self._handle_reqs,
+                MsgKind.REQ_WT: self._handle_write,
+                MsgKind.REQ_O: self._handle_write,
+                MsgKind.REQ_WT_DATA: self._handle_atomic,
+                MsgKind.REQ_O_DATA: self._handle_write,
+            }
+        dispatch[msg.kind](msg, line_obj)
 
     # -- ReqV ------------------------------------------------------------
     def _handle_reqv(self, msg: Message, line_obj: CacheLine) -> None:

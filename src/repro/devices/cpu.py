@@ -21,6 +21,10 @@ from ..sim.stats import StatsRegistry
 from ..workloads.trace import Op, OpKind, Trace
 
 
+def _discard_values(values: Dict[int, int]) -> None:
+    """Store-completion callback: stores return no data."""
+
+
 class CPUCore(Component):
     """Executes one trace in order on top of an L1 controller."""
 
@@ -38,6 +42,18 @@ class CPUCore(Component):
         self.on_done: Optional[Callable[[], None]] = None
         self.ops_executed = 0
         self.spin_iterations = 0
+        #: live flat-counter dict for the per-op latency accounting
+        self._counters = stats.raw_counters()
+        #: OpKind -> bound handler, built once (``_step`` is per-op hot)
+        self._dispatch = {
+            OpKind.LOAD: self._op_load,
+            OpKind.STORE: self._op_store,
+            OpKind.RMW: self._op_rmw,
+            OpKind.SPIN_LOAD: self._op_spin,
+            OpKind.ACQUIRE: self._op_acquire,
+            OpKind.RELEASE: self._op_release,
+            OpKind.COMPUTE: self._op_compute,
+        }
 
     def start(self) -> None:
         self.schedule(0, self._step, "start")
@@ -62,16 +78,7 @@ class CPUCore(Component):
             self._finish()
             return
         op = self.trace[self._pc]
-        handler = {
-            OpKind.LOAD: self._op_load,
-            OpKind.STORE: self._op_store,
-            OpKind.RMW: self._op_rmw,
-            OpKind.SPIN_LOAD: self._op_spin,
-            OpKind.ACQUIRE: self._op_acquire,
-            OpKind.RELEASE: self._op_release,
-            OpKind.COMPUTE: self._op_compute,
-        }[op.kind]
-        handler(op)
+        self._dispatch[op.kind](op)
 
     # ------------------------------------------------------------------
     def _op_load(self, op: Op) -> None:
@@ -79,9 +86,9 @@ class CPUCore(Component):
         issued_at = self.now
 
         def done(values: Dict[int, int]) -> None:
-            self.stats.incr("cpu.load_latency_total",
-                            self.now - issued_at)
-            self.stats.incr("cpu.load_count")
+            counters = self._counters
+            counters["cpu.load_latency_total"] += self.now - issued_at
+            counters["cpu.load_count"] += 1
             self._advance()
 
         access = Access("load", line_of(addr), mask_of(addr),
@@ -91,9 +98,10 @@ class CPUCore(Component):
 
     def _op_store(self, op: Op) -> None:
         addr = op.addrs[0]
-        access = Access("store", line_of(addr), mask_of(addr),
-                        values={(addr >> 2) & 15: op.value},
-                        callback=lambda values: None)
+        index = (addr >> 2) & 15
+        access = Access("store", addr & ~63, 1 << index,
+                        values={index: op.value},
+                        callback=_discard_values)
         if not self.l1.try_access(access):
             self._retry()
             return
@@ -132,7 +140,7 @@ class CPUCore(Component):
                                       regions=op.regions, scope=op.scope)
                 return
             self.spin_iterations += 1
-            self.stats.incr("cpu.spin_iterations")
+            self._counters["cpu.spin_iterations"] += 1
             self.schedule(self.spin_backoff, lambda: self._op_spin(op),
                           "spin-retry")
 

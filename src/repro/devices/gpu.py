@@ -41,10 +41,14 @@ class Warp:
 
 
 def coalesce(addrs: List[int]) -> Dict[int, Dict[int, int]]:
-    """Group lane addresses into {line: {word_index: lane_ordinal}}."""
+    """Group lane addresses into {line: {word_index: lane_ordinal}}.
+
+    Address math is inlined (``line_of`` / ``word_index`` equivalents
+    for the 64B/4B geometry): one call per lane adds up fast.
+    """
     groups: Dict[int, Dict[int, int]] = defaultdict(dict)
     for ordinal, addr in enumerate(addrs):
-        groups[line_of(addr)][word_index(addr)] = ordinal
+        groups[addr & ~63][(addr >> 2) & 15] = ordinal
     return groups
 
 
@@ -66,6 +70,18 @@ class GPUCU(Component):
         self.done = False
         self.on_done: Optional[Callable[[], None]] = None
         self.ops_executed = 0
+        #: live flat-counter dict for per-access retry/latency counts
+        self._counters = stats.raw_counters()
+        #: OpKind -> bound handler, built once (``_issue`` is per-op hot)
+        self._dispatch = {
+            OpKind.LOAD: self._op_mem,
+            OpKind.STORE: self._op_mem,
+            OpKind.RMW: self._op_rmw,
+            OpKind.SPIN_LOAD: self._op_spin,
+            OpKind.ACQUIRE: self._op_acquire,
+            OpKind.RELEASE: self._op_release,
+            OpKind.COMPUTE: self._op_compute,
+        }
 
     def start(self) -> None:
         self._schedule_tick(0)
@@ -123,22 +139,13 @@ class GPUCU(Component):
 
     def _issue(self, warp: Warp) -> None:
         op = warp.trace[warp.pc]
-        handler = {
-            OpKind.LOAD: self._op_mem,
-            OpKind.STORE: self._op_mem,
-            OpKind.RMW: self._op_rmw,
-            OpKind.SPIN_LOAD: self._op_spin,
-            OpKind.ACQUIRE: self._op_acquire,
-            OpKind.RELEASE: self._op_release,
-            OpKind.COMPUTE: self._op_compute,
-        }[op.kind]
-        handler(warp, op)
+        self._dispatch[op.kind](warp, op)
         self._schedule_tick()
 
     def _issue_with_retry(self, access: Access) -> None:
         """Issue an access, retrying on structural hazards each tick."""
         if not self.l1.try_access(access):
-            self.stats.incr("gpu.issue_retries")
+            self._counters["gpu.issue_retries"] += 1
             self.schedule(self.issue_period,
                           lambda: self._issue_with_retry(access),
                           "access-retry")
@@ -166,9 +173,9 @@ class GPUCU(Component):
 
             def done(_v, w=warp, k=kind, t=issued_at):
                 if k == "load":
-                    self.stats.incr("gpu.load_latency_total",
-                                    self.now - t)
-                    self.stats.incr("gpu.load_count")
+                    counters = self._counters
+                    counters["gpu.load_latency_total"] += self.now - t
+                    counters["gpu.load_count"] += 1
                 self._warp_unblock(w)
 
             access = Access(kind, line, mask, values=values,

@@ -86,9 +86,10 @@ class CacheArray(Generic[S]):
         return self._sets[(line // LINE_BYTES) % self.num_sets]
 
     def lookup(self, line: int, touch: bool = True) -> Optional[CacheLine[S]]:
-        entry = self._set_of(line).get(line)
+        cache_set = self._sets[(line // LINE_BYTES) % self.num_sets]
+        entry = cache_set.get(line)
         if entry is not None and touch:
-            self._set_of(line).move_to_end(line)
+            cache_set.move_to_end(line)
         return entry
 
     def victim_for(self, line: int) -> Optional[CacheLine[S]]:

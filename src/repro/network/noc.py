@@ -10,13 +10,21 @@ class — the Figures 2/3 stacks.
 Each ordered (src, dst) endpoint pair is a link with its own latency,
 bandwidth and FIFO ordering.  Point-to-point FIFO ordering is a
 correctness assumption of the protocol controllers.
+
+``send`` is one of the two hottest call sites in the simulator (the
+other is the engine loop), so its state is organized for the fast
+path: each link keeps a single :class:`_Link` record (free time, last
+delivery, cached latency, cached event labels together — one dict
+lookup per send instead of four), each endpoint gets one pre-bound
+delivery callable reused for every message (no per-message closure),
+and the in-flight diagnostic set is pruned event-driven — the delivery
+callable removes its own entry — instead of lazily rescanned on send.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from math import ceil
-from typing import Callable, Deque, Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from ..coherence.messages import Message
 from ..sim.engine import Engine, SimulationError
@@ -53,6 +61,24 @@ class LatencyModel:
         return self._pairs.get((src, dst), self.default)
 
 
+class _Link:
+    """Hot-path record for one ordered (src, dst) pair.
+
+    Bundles everything ``send`` needs per message — when the link is
+    next free, the last delivery time (FIFO clamp), the cached base
+    latency, and per-kind event labels — so the per-send cost is one
+    dict lookup instead of one per field.
+    """
+
+    __slots__ = ("free", "last_delivery", "latency", "labels")
+
+    def __init__(self, latency: int):
+        self.free = 0
+        self.last_delivery = 0
+        self.latency = latency
+        self.labels: Dict[object, str] = {}
+
+
 class Network:
     """Message transport with latency, bandwidth and traffic accounting."""
 
@@ -64,16 +90,27 @@ class Network:
         self.latency_model = latency_model or LatencyModel()
         self.link_bytes_per_cycle = link_bytes_per_cycle
         self._endpoints: Dict[str, Endpoint] = {}
-        self._link_free: Dict[Tuple[str, str], int] = {}
-        self._last_delivery: Dict[Tuple[str, str], int] = {}
+        self._links: Dict[Tuple[str, str], _Link] = {}
+        #: one pre-bound delivery callable per endpoint (and, when
+        #: tracing, a traced variant); rebuilt if the tracer changes
+        self._receivers: Dict[str, Callable[[Message], None]] = {}
+        self._traced_receivers: Dict[str, Callable[[Message], None]] = {}
+        self._traced_for: object = None
+        #: live counter-dicts from the registry — the four per-send
+        #: accounting increments without method-call or group-lookup
+        #: overhead (see StatsRegistry.raw_counters / raw_group)
+        self._counters = stats.raw_counters()
+        self._traffic_bytes = stats.raw_group("traffic.bytes")
+        self._traffic_messages = stats.raw_group("traffic.messages")
         #: optional tap for tracing every message (tests, walkthroughs)
         self.trace_hook: Optional[Callable[[Message, int], None]] = None
         #: optional deterministic fault injector (repro.faults); extra
         #: delay folds into link latency *before* the FIFO clamp
         self.fault_injector = None
-        #: (delivery time, message) of undelivered sends, kept for
-        #: watchdog/deadlock diagnostics; pruned lazily from the front
-        self._in_flight: Deque[Tuple[int, Message]] = deque()
+        #: id(msg) -> (delivery time, message) of undelivered sends,
+        #: kept for watchdog/deadlock diagnostics; each delivery event
+        #: removes its own entry, so the set is always exact
+        self._in_flight: Dict[int, Tuple[int, Message]] = {}
 
     def register(self, endpoint: Endpoint) -> None:
         if endpoint.name in self._endpoints:
@@ -86,55 +123,104 @@ class Network:
     def has_endpoint(self, name: str) -> bool:
         return name in self._endpoints
 
+    # -- delivery callables ------------------------------------------------
+    def _make_receiver(self, name: str) -> Callable[[Message], None]:
+        receive = self._endpoints[name].receive
+        pop = self._in_flight.pop
+
+        def deliver(msg: Message) -> None:
+            pop(id(msg), None)
+            receive(msg)
+
+        return deliver
+
+    def _make_traced_receiver(self, name: str,
+                              tracer) -> Callable[[Message], None]:
+        receive = self._endpoints[name].receive
+        pop = self._in_flight.pop
+        delivered = tracer.message_delivered
+
+        def deliver(msg: Message) -> None:
+            pop(id(msg), None)
+            delivered(msg)
+            receive(msg)
+
+        return deliver
+
+    def _receiver(self, name: str) -> Callable[[Message], None]:
+        tracer = self.engine.tracer
+        if tracer is None:
+            deliver = self._receivers.get(name)
+            if deliver is None:
+                deliver = self._receivers[name] = self._make_receiver(name)
+            return deliver
+        if tracer is not self._traced_for:
+            self._traced_receivers.clear()
+            self._traced_for = tracer
+        deliver = self._traced_receivers.get(name)
+        if deliver is None:
+            deliver = self._traced_receivers[name] = \
+                self._make_traced_receiver(name, tracer)
+        return deliver
+
+    # -- the hot path ------------------------------------------------------
     def send(self, msg: Message) -> None:
         """Queue ``msg`` for delivery; accounts traffic immediately."""
-        if msg.dst not in self._endpoints:
-            raise SimulationError(f"unknown destination {msg.dst!r} for {msg}")
+        dst = msg.dst
+        if dst not in self._endpoints:
+            raise SimulationError(f"unknown destination {dst!r} for {msg}")
         size = msg.size_bytes()
-        self.stats.incr("network.messages")
-        self.stats.incr("network.bytes", size)
-        self.stats.incr_group("traffic.bytes", msg.traffic_class, size)
-        self.stats.incr_group("traffic.messages", msg.traffic_class, 1)
+        traffic_class = msg.traffic_class
+        counters = self._counters
+        counters["network.messages"] += 1
+        counters["network.bytes"] += size
+        self._traffic_bytes[traffic_class] += size
+        self._traffic_messages[traffic_class] += 1
 
-        now = self.engine.now
-        link = (msg.src, msg.dst)
-        serialization = max(1, ceil(size / self.link_bytes_per_cycle))
-        start = max(now, self._link_free.get(link, 0))
-        self._link_free[link] = start + serialization
-        latency = self.latency_model.latency(msg.src, msg.dst)
+        engine = self.engine
+        now = engine.now
+        link = self._links.get((msg.src, dst))
+        if link is None:
+            link = self._links[(msg.src, dst)] = _Link(
+                self.latency_model.latency(msg.src, dst))
+        serialization = ceil(size / self.link_bytes_per_cycle)
+        if serialization < 1:
+            serialization = 1
+        start = now if now > link.free else link.free
+        link.free = start + serialization
+        latency = link.latency
         if self.fault_injector is not None:
             latency += self.fault_injector.extra_delay(msg, now)
         delivery = start + serialization + latency
         # Preserve point-to-point FIFO even if parameters ever vary
         # (including injected per-message delay jitter).
-        delivery = max(delivery, self._last_delivery.get(link, 0))
-        self._last_delivery[link] = delivery
-        self.stats.incr("network.latency_cycles", delivery - now)
+        if delivery < link.last_delivery:
+            delivery = link.last_delivery
+        link.last_delivery = delivery
+        counters["network.latency_cycles"] += delivery - now
 
-        target = self._endpoints[msg.dst]
         if self.trace_hook is not None:
             self.trace_hook(msg, delivery)
-        while self._in_flight and self._in_flight[0][0] < now:
-            self._in_flight.popleft()
-        self._in_flight.append((delivery, msg))
-        tracer = self.engine.tracer
-        if tracer is None:
-            deliver = lambda m=msg, t=target: t.receive(m)  # noqa: E731
-        else:
+        self._in_flight[id(msg)] = (delivery, msg)
+        tracer = engine.tracer
+        if tracer is not None:
             # The hop's flight time is fully determined here, so the
             # send event is recorded as a span and delivery rides the
             # same scheduled callback — tracing adds no engine events.
             tracer.message_sent(msg, now, delivery)
-
-            def deliver(m=msg, t=target, tr=tracer):
-                tr.message_delivered(m)
-                t.receive(m)
-        self.engine.schedule_at(
-            delivery, deliver,
-            label=f"net:{msg.kind.value}->{msg.dst}")
+        kind = msg.kind
+        label = link.labels.get(kind)
+        if label is None:
+            label = link.labels[kind] = f"net:{kind.value}->{dst}"
+        engine.schedule(delivery - now, self._receiver(dst), label,
+                        False, (msg,))
 
     def in_flight(self) -> List[Tuple[int, Message]]:
-        """Undelivered (delivery time, message) pairs, for diagnostics."""
-        now = self.engine.now
-        return [(time, msg) for time, msg in self._in_flight
-                if time >= now]
+        """Undelivered (delivery time, message) pairs, for diagnostics.
+
+        Exact by construction: each delivery event removes its own
+        entry, so a message delivered at the current cycle is never
+        reported as still in flight (and an undelivered one never
+        disappears early).
+        """
+        return list(self._in_flight.values())

@@ -118,6 +118,8 @@ class L1Controller(Component):
         #: set when a translation unit wraps this controller (flat
         #: Spandex configurations); the TU is then the network endpoint.
         self.tu = None
+        #: live flat-counter dict; ``count`` is called on every access
+        self._counters = stats.raw_counters()
         if register_on_network:
             network.register(self)
 
@@ -265,8 +267,14 @@ class L1Controller(Component):
         return msg
 
     # -- stats helpers --------------------------------------------------------
+    _COUNT_LABELS: Dict[str, str] = {}
+
     def count(self, what: str, amount: float = 1) -> None:
-        self.stats.incr(f"l1.{what}", amount)
+        labels = L1Controller._COUNT_LABELS
+        label = labels.get(what)
+        if label is None:
+            label = labels[what] = "l1." + what
+        self._counters[label] += amount
 
 
 def merge_values(into: Dict[int, int], mask: int,

@@ -26,6 +26,10 @@ from .base import Access, Inflight, L1Controller
 
 
 class DnState(enum.Enum):
+    """Per-word DeNovo states; hot-path dict keys, so identity hash."""
+
+    __hash__ = object.__hash__
+
     I = "I"
     V = "V"
     O = "O"
@@ -64,6 +68,16 @@ class DeNovoL1(L1Controller):
         self._downgraded_pending: Dict[int, int] = {}
         #: forwarded data requests delayed until a pending grant lands
         self._delayed_fwd: Dict[int, List[Message]] = {}
+        #: MsgKind -> bound handler, built once (``receive`` is hot)
+        self._ext_dispatch = {
+            MsgKind.REQ_V: self._ext_reqv,
+            MsgKind.REQ_O: self._ext_reqo,
+            MsgKind.REQ_WT: self._ext_reqwt,
+            MsgKind.REQ_O_DATA: self._ext_reqo_data,
+            MsgKind.RVK_O: self._ext_rvko,
+            MsgKind.REQ_S: self._ext_reqs,
+            MsgKind.INV: self._ext_inv,
+        }
 
     # ------------------------------------------------------------------
     # device-facing API
@@ -91,8 +105,8 @@ class DeNovoL1(L1Controller):
         forwarded = self.store_buffer.forward(access.line, access.mask)
         if forwarded is not None:
             self.count("hits")
-            self.schedule(self.hit_latency,
-                          lambda: access.callback(forwarded), "sb-fwd")
+            self.engine.schedule(self.hit_latency, access.callback,
+                                 (self.name, "sb-fwd"), False, (forwarded,))
             return True
         line_obj = self.array.lookup(access.line)
         missing = access.mask
@@ -107,8 +121,8 @@ class DeNovoL1(L1Controller):
             if partial is not None:
                 for index in iter_mask(access.mask & partial.mask):
                     values[index] = partial.values[index]
-            self.schedule(self.hit_latency,
-                          lambda: access.callback(values), "load-hit")
+            self.engine.schedule(self.hit_latency, access.callback,
+                                 (self.name, "load-hit"), False, (values,))
             return True
         if access.line in self.mshrs:
             self.mshrs.attach(access.line, access)
@@ -135,8 +149,8 @@ class DeNovoL1(L1Controller):
                 self.count("hits")
                 line_obj.write_data(access.mask, access.values)
                 self._mark_dirty(line_obj, access.mask)
-                self.schedule(self.hit_latency,
-                              lambda: access.callback({}), "store-hit")
+                self.engine.schedule(self.hit_latency, access.callback,
+                                     (self.name, "store-hit"), False, ({},))
                 return True
         entry = self.store_buffer.entry(access.line)
         if entry is not None and entry.issued:
@@ -147,8 +161,8 @@ class DeNovoL1(L1Controller):
             return False
         self.store_buffer.push(access.line, access.mask, access.values)
         self._schedule_issue()
-        self.schedule(self.hit_latency, lambda: access.callback({}),
-                      "store-accept")
+        self.engine.schedule(self.hit_latency, access.callback,
+                             (self.name, "store-accept"), False, ({},))
         return True
 
     def _do_rmw(self, access: Access) -> bool:
@@ -164,15 +178,16 @@ class DeNovoL1(L1Controller):
             return False
         self.count("atomics")
         line_obj = self.array.lookup(access.line)
-        index = next(iter_mask(access.mask))
+        index = iter_mask(access.mask)[0]
         if (self.atomic_policy == "own" and line_obj is not None
                 and line_obj.word_states[index] == DnState.O):
             old = line_obj.data[index]
             line_obj.data[index] = access.atomic.apply(old)
             self._mark_dirty(line_obj, access.mask)
             self.count("atomic_hits")
-            self.schedule(self.hit_latency,
-                          lambda: access.callback({index: old}), "rmw-hit")
+            self.engine.schedule(self.hit_latency, access.callback,
+                                 (self.name, "rmw-hit"), False,
+                                 ({index: old},))
             return True
         if self.atomic_policy == "llc":
             msg = self.request(MsgKind.REQ_WT_DATA, access.line,
@@ -274,15 +289,7 @@ class DeNovoL1(L1Controller):
             return
         if self._fold_response(msg):
             return
-        handler = {
-            MsgKind.REQ_V: self._ext_reqv,
-            MsgKind.REQ_O: self._ext_reqo,
-            MsgKind.REQ_WT: self._ext_reqwt,
-            MsgKind.REQ_O_DATA: self._ext_reqo_data,
-            MsgKind.RVK_O: self._ext_rvko,
-            MsgKind.REQ_S: self._ext_reqs,
-            MsgKind.INV: self._ext_inv,
-        }.get(msg.kind)
+        handler = self._ext_dispatch.get(msg.kind)
         if handler is None:
             raise SimulationError(f"{self.name}: unexpected {msg}")
         handler(msg)
@@ -381,7 +388,7 @@ class DeNovoL1(L1Controller):
 
     def _finish_rmw(self, inflight: Inflight) -> None:
         access = inflight.accesses[0]
-        index = next(iter_mask(access.mask))
+        index = iter_mask(access.mask)[0]
         old = inflight.data.get(index, 0)
         if inflight.granted_o:
             downgraded = self._downgraded_pending.pop(inflight.line, 0)

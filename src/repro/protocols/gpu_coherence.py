@@ -22,6 +22,10 @@ from .base import Access, Inflight, L1Controller
 
 
 class GpuState(enum.Enum):
+    """GPU L1 word states; hot-path dict keys, so identity hash."""
+
+    __hash__ = object.__hash__
+
     I = "I"
     V = "V"
 
@@ -63,8 +67,8 @@ class GPUCoherenceL1(L1Controller):
         forwarded = self.store_buffer.forward(access.line, access.mask)
         if forwarded is not None:
             self.count("hits")
-            self.schedule(self.hit_latency,
-                          lambda: access.callback(forwarded), "sb-fwd")
+            self.engine.schedule(self.hit_latency, access.callback,
+                                 (self.name, "sb-fwd"), False, (forwarded,))
             return True
         line_obj = self.array.lookup(access.line)
         if line_obj is not None and line_obj.state == GpuState.V:
@@ -75,8 +79,8 @@ class GPUCoherenceL1(L1Controller):
             if partial is not None:
                 for index in iter_mask(access.mask & partial.mask):
                     values[index] = partial.values[index]
-            self.schedule(self.hit_latency,
-                          lambda: access.callback(values), "load-hit")
+            self.engine.schedule(self.hit_latency, access.callback,
+                                 (self.name, "load-hit"), False, (values,))
             return True
         # miss: line-granularity ReqV, coalesced through the MSHR
         if access.line in self.mshrs:
@@ -107,8 +111,8 @@ class GPUCoherenceL1(L1Controller):
         if line_obj is not None and line_obj.state == GpuState.V:
             line_obj.write_data(access.mask, access.values)
         self._schedule_issue()
-        self.schedule(self.hit_latency, lambda: access.callback({}),
-                      "store-accept")
+        self.engine.schedule(self.hit_latency, access.callback,
+                             (self.name, "store-accept"), False, ({},))
         return True
 
     def _do_rmw(self, access: Access) -> bool:

@@ -40,6 +40,16 @@ class GPUL2(SpandexHome):
         self._up_pending: Dict[int, Dict[str, object]] = {}
         #: upstream state granted while the line was mid-fill
         self._granted_state: Dict[int, str] = {}
+        #: MsgKind -> bound handler, built once (dispatch is hot)
+        self._up_dispatch = {
+            MsgKind.DATA_S: self._up_data,
+            MsgKind.DATA_E: self._up_data,
+            MsgKind.DATA_M: self._up_data,
+            MsgKind.WB_ACK: self._up_wb_ack,
+            MsgKind.FWD_GET_S: self._up_fwd_gets,
+            MsgKind.FWD_GET_M: self._up_fwd_getm,
+            MsgKind.MESI_INV: self._up_inv,
+        }
 
     # ------------------------------------------------------------------
     # upstream MESI state helpers
@@ -113,15 +123,7 @@ class GPUL2(SpandexHome):
     # upstream responses and probes
     # ------------------------------------------------------------------
     def _dispatch_other(self, msg: Message) -> None:
-        handler = {
-            MsgKind.DATA_S: self._up_data,
-            MsgKind.DATA_E: self._up_data,
-            MsgKind.DATA_M: self._up_data,
-            MsgKind.WB_ACK: self._up_wb_ack,
-            MsgKind.FWD_GET_S: self._up_fwd_gets,
-            MsgKind.FWD_GET_M: self._up_fwd_getm,
-            MsgKind.MESI_INV: self._up_inv,
-        }.get(msg.kind)
+        handler = self._up_dispatch.get(msg.kind)
         if handler is None:
             raise SimulationError(f"{self.name}: unexpected {msg}")
         handler(msg)

@@ -29,10 +29,22 @@ from .base import Access, Inflight, L1Controller
 
 
 class MesiState(enum.Enum):
+    """MESI line states; hot-path dict keys, so identity hash."""
+
+    __hash__ = object.__hash__
+
     I = "I"
     S = "S"
     E = "E"
     M = "M"
+
+
+#: hot-path constant tuples (``x in (A, B)`` rebuilds the tuple per
+#: call when the members are attribute loads, so hoist them once)
+_OWNED = (MesiState.M, MesiState.E)
+_MESI_DATA = (MsgKind.DATA_S, MsgKind.DATA_E, MsgKind.DATA_M,
+              MsgKind.WB_ACK)
+_MESI_EXCL = (MsgKind.DATA_E, MsgKind.DATA_M)
 
 
 class MESIL1(L1Controller):
@@ -59,6 +71,13 @@ class MESIL1(L1Controller):
         self._issue_scheduled = False
         self._pending_wb: Dict[int, Dict[int, int]] = {}
         self._post_grant: Dict[int, List[Callable[[], None]]] = {}
+        #: MsgKind -> bound handler, built once (``receive`` is hot)
+        self._ext_dispatch = {
+            MsgKind.FWD_GET_S: self._ext_fwd_gets,
+            MsgKind.FWD_GET_M: self._ext_fwd_getm,
+            MsgKind.MESI_INV: self._ext_inv,
+            MsgKind.INV: self._ext_inv,
+        }
 
     # ------------------------------------------------------------------
     # device-facing API
@@ -78,15 +97,15 @@ class MESIL1(L1Controller):
         forwarded = self.store_buffer.forward(access.line, access.mask)
         if forwarded is not None:
             self.count("hits")
-            self.schedule(self.hit_latency,
-                          lambda: access.callback(forwarded), "sb-fwd")
+            self.engine.schedule(self.hit_latency, access.callback,
+                                 (self.name, "sb-fwd"), False, (forwarded,))
             return True
         line_obj = self.array.lookup(access.line)
         if line_obj is not None and line_obj.state != MesiState.I:
             self.count("hits")
             values = line_obj.read_data(access.mask)
-            self.schedule(self.hit_latency,
-                          lambda: access.callback(values), "load-hit")
+            self.engine.schedule(self.hit_latency, access.callback,
+                                 (self.name, "load-hit"), False, (values,))
             return True
         mshr_entry = self.mshrs.lookup(access.line)
         if mshr_entry is not None:
@@ -110,13 +129,12 @@ class MESIL1(L1Controller):
 
     def _do_store(self, access: Access) -> bool:
         line_obj = self.array.lookup(access.line)
-        if line_obj is not None and line_obj.state in (MesiState.M,
-                                                       MesiState.E):
+        if line_obj is not None and line_obj.state in _OWNED:
             self.count("hits")
             line_obj.state = MesiState.M
             line_obj.write_data(access.mask, access.values)
-            self.schedule(self.hit_latency,
-                          lambda: access.callback({}), "store-hit")
+            self.engine.schedule(self.hit_latency, access.callback,
+                                 (self.name, "store-hit"), False, ({},))
             return True
         sb_entry = self.store_buffer.entry(access.line)
         if sb_entry is not None and sb_entry.issued:
@@ -127,21 +145,21 @@ class MESIL1(L1Controller):
             return False
         self.store_buffer.push(access.line, access.mask, access.values)
         self._schedule_issue()
-        self.schedule(self.hit_latency, lambda: access.callback({}),
-                      "store-accept")
+        self.engine.schedule(self.hit_latency, access.callback,
+                             (self.name, "store-accept"), False, ({},))
         return True
 
     def _do_rmw(self, access: Access) -> bool:
         line_obj = self.array.lookup(access.line)
-        index = next(iter_mask(access.mask))
-        if line_obj is not None and line_obj.state in (MesiState.M,
-                                                       MesiState.E):
+        index = iter_mask(access.mask)[0]
+        if line_obj is not None and line_obj.state in _OWNED:
             self.count("atomic_hits")
             line_obj.state = MesiState.M
             old = line_obj.data[index]
             line_obj.data[index] = access.atomic.apply(old)
-            self.schedule(self.hit_latency,
-                          lambda: access.callback({index: old}), "rmw-hit")
+            self.engine.schedule(self.hit_latency, access.callback,
+                                 (self.name, "rmw-hit"), False,
+                                 ({index: old},))
             return True
         if (self.mshrs.full or access.line in self.mshrs
                 or self.store_buffer.has_line(access.line)):
@@ -178,8 +196,7 @@ class MESIL1(L1Controller):
         entry = self.store_buffer.next_unissued()
         while entry is not None:
             line_obj = self.array.lookup(entry.line)
-            if line_obj is not None and line_obj.state in (MesiState.M,
-                                                           MesiState.E):
+            if line_obj is not None and line_obj.state in _OWNED:
                 # the line arrived meanwhile (e.g. via an earlier miss)
                 line_obj.state = MesiState.M
                 line_obj.write_data(entry.mask, entry.values)
@@ -238,18 +255,12 @@ class MESIL1(L1Controller):
     # responses
     # ------------------------------------------------------------------
     def receive(self, msg: Message) -> None:
-        if msg.kind in (MsgKind.DATA_S, MsgKind.DATA_E, MsgKind.DATA_M,
-                        MsgKind.WB_ACK):
+        if msg.kind in _MESI_DATA:
             self._mesi_data(msg)
             return
         if self._fold_response(msg):
             return
-        handler = {
-            MsgKind.FWD_GET_S: self._ext_fwd_gets,
-            MsgKind.FWD_GET_M: self._ext_fwd_getm,
-            MsgKind.MESI_INV: self._ext_inv,
-            MsgKind.INV: self._ext_inv,
-        }.get(msg.kind)
+        handler = self._ext_dispatch.get(msg.kind)
         if handler is None:
             raise SimulationError(f"{self.name}: unexpected {msg}")
         handler(msg)
@@ -259,7 +270,7 @@ class MESIL1(L1Controller):
         inflight = self._inflight.get(msg.req_id)
         if inflight is None:
             raise SimulationError(f"{self.name}: orphan {msg}")
-        if msg.kind in (MsgKind.DATA_E, MsgKind.DATA_M):
+        if msg.kind in _MESI_EXCL:
             inflight.granted_o |= msg.mask
         self._fold_response(msg)
 
@@ -324,7 +335,7 @@ class MESIL1(L1Controller):
             access.callback({})
         else:  # rmw
             line_obj.state = MesiState.M
-            index = next(iter_mask(access.mask))
+            index = iter_mask(access.mask)[0]
             old = line_obj.data[index]
             line_obj.data[index] = access.atomic.apply(old)
             access.callback({index: old})

@@ -23,6 +23,10 @@ from ..sim.stats import StatsRegistry
 
 
 class DirState(enum.Enum):
+    """Directory states; hot-path dict keys, so identity hash."""
+
+    __hash__ = object.__hash__
+
     I = "I"
     V = "V"     # present, no sharers or owner
     S = "S"     # present, sharer list valid

@@ -4,16 +4,40 @@ The whole system runs on a single :class:`Engine`: components schedule
 callbacks at integer cycle timestamps, and the engine executes them in
 (time, insertion-order) order so runs are fully deterministic.
 
-The engine is intentionally minimal — a binary heap of events plus a
-monotonically increasing sequence number for tie-breaking.  Components
-never see the heap; they interact through :meth:`Engine.schedule` and
-:meth:`Engine.run`.
+The hot path is tuned for event throughput without changing observable
+semantics:
+
+* the heap stores plain ``(time, seq, Event)`` tuples, so every heap
+  sift comparison is a C-level int compare instead of a Python
+  ``Event.__lt__`` call;
+* a **live non-idle counter** is maintained by ``schedule``/``cancel``/
+  pop, so deciding whether an ``idle`` housekeeping event may run is
+  O(1) instead of the old O(heap) rescan per idle pop (O(E*H) total);
+* zero-delay events scheduled while the engine is running bypass the
+  heap through a same-cycle **FIFO micro-queue** (they are, by
+  construction, ordered after everything already queued for the
+  current cycle, so FIFO order is exactly (time, seq) order);
+* cancelled events normally stay in the heap and are skipped on pop
+  (O(1) cancellation), but when they exceed half the heap the engine
+  **compacts** — rebuilds the heap without them — so NACK-retry and
+  MSHR-timer churn can no longer grow the heap without bound;
+* events may carry ``args``, letting hot callers (the network) reuse
+  one pre-bound callable per endpoint instead of allocating a closure
+  per event.
+
+Components never see the heap; they interact through
+:meth:`Engine.schedule` and :meth:`Engine.run`.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+#: compaction threshold: rebuild the heap when at least this many
+#: cancelled events linger in it *and* they outnumber the live ones.
+COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
@@ -23,47 +47,82 @@ class SimulationError(RuntimeError):
 class Event:
     """A scheduled callback.
 
-    Events support cancellation: a cancelled event stays in the heap but
-    is skipped when popped.  This keeps cancellation O(1).
+    Events support cancellation: a cancelled event normally stays in
+    the heap and is skipped when popped, which keeps cancellation O(1);
+    the engine compacts the heap when cancelled events pile up (see the
+    module docstring).
 
     ``idle`` events are housekeeping (watchdog ticks, periodic audits):
-    they run only while non-idle work remains in the heap, so they never
-    keep an otherwise-quiescent simulation alive or stretch its measured
-    length.
+    they run only while non-idle work remains queued, so they never
+    keep an otherwise-quiescent simulation alive or stretch its
+    measured length.
+
+    ``label`` may be a string or a tuple of strings (joined with ``:``
+    only when the event is actually rendered — diagnostics are rare,
+    per-event string formatting is not).
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "label", "idle")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label",
+                 "idle", "_engine", "_queued", "_fifo")
 
-    def __init__(self, time: int, seq: int, callback: Callable[[], None],
-                 label: str = "", idle: bool = False):
+    def __init__(self, time: int, seq: int, callback: Callable[..., None],
+                 label="", idle: bool = False, args: tuple = (),
+                 engine: Optional["Engine"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.args = args
         self.cancelled = False
         self.label = label
         self.idle = idle
+        self._engine = engine
+        self._queued = engine is not None
+        self._fifo = False
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queued and self._engine is not None:
+            self._engine._on_cancel(self)
+
+    def label_str(self) -> str:
+        label = self.label
+        if isinstance(label, tuple):
+            return ":".join(label)
+        return label
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
-        return f"<Event t={self.time} seq={self.seq} {self.label}{state}>"
+        return f"<Event t={self.time} seq={self.seq} {self.label_str()}{state}>"
 
 
 class Engine:
     """Deterministic discrete-event scheduler with integer cycle time."""
 
     def __init__(self):
-        self._heap: List[Event] = []
+        #: (time, seq, Event) tuples — tuple comparison keeps heap
+        #: sifts in C (time, seq) is unique, so Event is never compared
+        self._heap: List[Tuple[int, int, Event]] = []
+        #: same-cycle micro-queue: zero-delay events scheduled while
+        #: running; always sorted by seq and all at the current cycle
+        self._fifo: Deque[Event] = deque()
         self._seq = 0
         self._now = 0
         self._events_executed = 0
         self._running = False
+        #: queued non-cancelled events (heap + fifo)
+        self._live = 0
+        #: of those, events not marked ``idle`` — "real work"
+        self._live_nonidle = 0
+        #: cancelled events still sitting in the heap
+        self._cancelled_in_heap = 0
+        #: times the heap was compacted (observability / tests)
+        self.compactions = 0
         #: called when the queue drains (end of run): a liveness
         #: watchdog installs its quiescence check here so a dropped
         #: message raises instead of returning a truncated run.
@@ -86,29 +145,82 @@ class Engine:
         """Total number of events executed so far."""
         return self._events_executed
 
-    def schedule(self, delay: int, callback: Callable[[], None],
-                 label: str = "", idle: bool = False) -> Event:
+    def schedule(self, delay: int, callback: Callable[..., None],
+                 label="", idle: bool = False, args: tuple = ()) -> Event:
         """Schedule ``callback`` to run ``delay`` cycles from now.
 
         Returns the :class:`Event`, which the caller may cancel.
         ``idle`` marks housekeeping that should be dropped once only
-        idle events remain (see :class:`Event`).
+        idle events remain (see :class:`Event`).  ``args`` are passed
+        to ``callback`` at execution time, so hot callers can reuse one
+        bound callable instead of closing over per-event state.
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for {label!r}")
-        event = Event(self._now + delay, self._seq, callback, label, idle)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        time = self._now + delay
+        event = Event(time, seq, callback, label, idle, args, self)
+        self._live += 1
+        if not idle:
+            self._live_nonidle += 1
+        if delay == 0 and self._running:
+            # Same-cycle fast path: the new event's (time, seq) orders
+            # it after every event already queued for this cycle, so
+            # appending preserves execution order exactly.
+            event._fifo = True
+            self._fifo.append(event)
+        else:
+            heapq.heappush(self._heap, (time, seq, event))
         return event
 
-    def schedule_at(self, time: int, callback: Callable[[], None],
-                    label: str = "") -> Event:
-        """Schedule ``callback`` at absolute cycle ``time`` (>= now)."""
-        return self.schedule(time - self._now, callback, label)
+    def schedule_at(self, time: int, callback: Callable[..., None],
+                    label="", idle: bool = False, args: tuple = ()) -> Event:
+        """Schedule ``callback`` at absolute cycle ``time`` (>= now).
 
+        ``idle`` marks absolute-time housekeeping (watchdog/audit
+        ticks), exactly as for :meth:`schedule` — without it such
+        ticks would count as live work and stretch quiescent runs.
+        """
+        return self.schedule(time - self._now, callback, label,
+                             idle=idle, args=args)
+
+    # -- queue accounting --------------------------------------------------
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
+
+    def pending_non_idle(self) -> int:
+        """Live events that are real work (not ``idle`` housekeeping)."""
+        return self._live_nonidle
+
+    def _on_cancel(self, event: Event) -> None:
+        """Counter upkeep for a cancellation; may trigger compaction."""
+        self._live -= 1
+        if not event.idle:
+            self._live_nonidle -= 1
+        if not event._fifo:
+            self._cancelled_in_heap += 1
+            if self._cancelled_in_heap >= COMPACT_MIN_CANCELLED and \
+                    self._cancelled_in_heap * 2 >= len(self._heap):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events from the heap and re-heapify.
+
+        (time, seq) keys are unique, so heapify reproduces exactly the
+        order a pop sequence would have produced — determinism holds.
+        The list is mutated in place: ``run`` holds a local reference.
+        """
+        heap = self._heap
+        keep = [entry for entry in heap if not entry[2].cancelled]
+        for entry in heap:
+            if entry[2].cancelled:
+                entry[2]._queued = False
+        heap[:] = keep
+        heapq.heapify(heap)
+        self._cancelled_in_heap = 0
+        self.compactions += 1
 
     def run(self, until: Optional[int] = None,
             max_events: Optional[int] = None,
@@ -118,8 +230,11 @@ class Engine:
         ``until`` bounds simulated time; ``max_events`` bounds executed
         events and ``max_cycles`` bounds simulated cycles (safety
         limits against protocol livelock — both raise a clear
-        :class:`SimulationError` instead of looping forever).  Returns
-        the simulation time when the run stopped.
+        :class:`SimulationError` instead of looping forever).  The
+        ``max_events`` budget only raises while live non-idle work
+        remains: a run whose final event drained the queue completed
+        legitimately and returns normally.  Returns the simulation time
+        when the run stopped.
 
         When ``until`` is given, time always advances to ``until`` even
         if the queue drains earlier, so a caller that resumes the engine
@@ -129,39 +244,72 @@ class Engine:
         if self._running:
             raise SimulationError("Engine.run is not reentrant")
         self._running = True
+        heap = self._heap
+        fifo = self._fifo
+        heappop = heapq.heappop
+        # the executed count lives in a local inside the loop (nothing
+        # observes it mid-run); synced back in the ``finally``
+        executed = self._events_executed
         try:
-            while self._heap:
-                event = heapq.heappop(self._heap)
+            while heap or fifo:
+                # The FIFO head (if any) is at the current cycle; the
+                # heap wins only with a same-cycle, earlier-seq event.
+                if fifo:
+                    event = fifo[0]
+                    if heap and heap[0][0] == event.time and \
+                            heap[0][1] < event.seq:
+                        event = heappop(heap)[2]
+                        from_fifo = False
+                    else:
+                        fifo.popleft()
+                        from_fifo = True
+                else:
+                    event = heappop(heap)[2]
+                    from_fifo = False
                 if event.cancelled:
+                    if not from_fifo:
+                        self._cancelled_in_heap -= 1
+                    event._queued = False
                     continue
-                if event.idle and not any(
-                        not e.cancelled and not e.idle
-                        for e in self._heap):
+                idle = event.idle
+                if idle and self._live_nonidle == 0:
                     # Only housekeeping remains: drop it without
                     # advancing time, so watchdog/audit ticks never
                     # stretch a quiescent run.
+                    self._live -= 1
+                    event._queued = False
                     continue
-                if until is not None and event.time > until:
+                time = event.time
+                if until is not None and time > until:
                     # Put it back: the caller may resume later.
-                    heapq.heappush(self._heap, event)
+                    heapq.heappush(heap, (time, event.seq, event))
+                    event._fifo = False
                     break
-                if max_cycles is not None and event.time > max_cycles:
-                    heapq.heappush(self._heap, event)
+                if max_cycles is not None and time > max_cycles:
+                    heapq.heappush(heap, (time, event.seq, event))
+                    event._fifo = False
                     raise SimulationError(
                         f"cycle budget exhausted ({max_cycles}); "
                         "possible protocol livelock")
-                self._now = event.time
-                event.callback()
-                self._events_executed += 1
-                if max_events is not None and self._events_executed >= max_events:
+                self._live -= 1
+                if not idle:
+                    self._live_nonidle -= 1
+                event._queued = False
+                self._now = time
+                event.callback(*event.args)
+                executed += 1
+                if max_events is not None and executed >= max_events \
+                        and self._live_nonidle > 0:
                     raise SimulationError(
                         f"event budget exhausted ({max_events}); "
                         "possible protocol livelock")
-            if not self._heap and self.stall_check is not None:
+            if not self._heap and not self._fifo and \
+                    self.stall_check is not None:
                 self.stall_check()
             if until is not None and self._now < until:
                 self._now = until
         finally:
+            self._events_executed = executed
             self._running = False
         return self._now
 
@@ -176,7 +324,9 @@ class Component:
     """Base class for anything that lives on the engine.
 
     Subclasses get a ``name`` for diagnostics and a convenience
-    ``schedule`` that tags events with the component name.
+    ``schedule`` that tags events with the component name.  The tag is
+    a lazy ``(name, label)`` tuple — it is only joined into a string
+    when an event is rendered for diagnostics, never on the hot path.
     """
 
     def __init__(self, engine: Engine, name: str):
@@ -185,12 +335,11 @@ class Component:
 
     @property
     def now(self) -> int:
-        return self.engine.now
+        return self.engine._now
 
-    def schedule(self, delay: int, callback: Callable[[], None],
+    def schedule(self, delay: int, callback: Callable[..., None],
                  label: str = "") -> Event:
-        return self.engine.schedule(
-            delay, callback, label=f"{self.name}:{label}")
+        return self.engine.schedule(delay, callback, (self.name, label))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,159 @@
+"""Reference (pre-overhaul) simulation kernel for differential checks.
+
+This module preserves the *seed* event-loop algorithm — a heap of
+:class:`Event` objects compared through ``Event.__lt__`` plus a linear
+``any()`` rescan of the whole heap on every idle pop — behind the same
+API as the optimized :class:`repro.sim.engine.Engine` (``idle`` flags,
+``args``-carrying events, tuple labels, ``pending_non_idle``).
+
+Two consumers:
+
+* the determinism suite swaps it into the system builder and asserts
+  that runs are cycle- and memory-identical to the optimized kernel on
+  every configuration — the overhaul changed *cost*, not behaviour;
+* the kernel benchmark runs both engines through the same event churn
+  in one process, a machine-independent measure of the speedup.
+
+The three scheduler bug fixes that shipped with the overhaul are
+applied here too (``max_events`` only raising while live non-idle work
+remains, ``schedule_at`` honouring ``idle``, counter-accurate
+``pending``) so the two kernels are semantically identical and only the
+algorithm differs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from .engine import SimulationError
+
+
+class ReferenceEvent:
+    """Seed-style event: lives in the heap, compared via ``__lt__``."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label",
+                 "idle")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., None],
+                 label="", idle: bool = False, args: tuple = ()):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+        self.idle = idle
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def label_str(self) -> str:
+        label = self.label
+        if isinstance(label, tuple):
+            return ":".join(label)
+        return label
+
+    def __lt__(self, other: "ReferenceEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return (f"<ReferenceEvent t={self.time} seq={self.seq} "
+                f"{self.label_str()}{state}>")
+
+
+class ReferenceEngine:
+    """Drop-in engine with the seed O(E*H) idle-rescan event loop."""
+
+    def __init__(self):
+        self._heap: List[ReferenceEvent] = []
+        self._seq = 0
+        self._now = 0
+        self._events_executed = 0
+        self._running = False
+        #: the reference kernel never compacts; kept for API parity
+        self.compactions = 0
+        self.stall_check: Optional[Callable[[], None]] = None
+        self.tracer = None
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    def schedule(self, delay: int, callback: Callable[..., None],
+                 label="", idle: bool = False,
+                 args: tuple = ()) -> ReferenceEvent:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {label!r}")
+        event = ReferenceEvent(self._now + delay, self._seq, callback,
+                               label, idle, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: int, callback: Callable[..., None],
+                    label="", idle: bool = False,
+                    args: tuple = ()) -> ReferenceEvent:
+        return self.schedule(time - self._now, callback, label,
+                             idle=idle, args=args)
+
+    def pending(self) -> int:
+        """Live events still queued — the seed's O(heap) scan."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def pending_non_idle(self) -> int:
+        return sum(1 for e in self._heap
+                   if not e.cancelled and not e.idle)
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None,
+            max_cycles: Optional[int] = None) -> int:
+        if self._running:
+            raise SimulationError("Engine.run is not reentrant")
+        self._running = True
+        heap = self._heap
+        try:
+            while heap:
+                event = heapq.heappop(heap)
+                if event.cancelled:
+                    continue
+                if event.idle and not any(
+                        not e.cancelled and not e.idle for e in heap):
+                    # the seed behaviour the overhaul made O(1): a full
+                    # heap rescan deciding whether housekeeping may run
+                    continue
+                if until is not None and event.time > until:
+                    heapq.heappush(heap, event)
+                    break
+                if max_cycles is not None and event.time > max_cycles:
+                    heapq.heappush(heap, event)
+                    raise SimulationError(
+                        f"cycle budget exhausted ({max_cycles}); "
+                        "possible protocol livelock")
+                self._now = event.time
+                event.callback(*event.args)
+                self._events_executed += 1
+                if max_events is not None \
+                        and self._events_executed >= max_events \
+                        and any(not e.cancelled and not e.idle
+                                for e in heap):
+                    raise SimulationError(
+                        f"event budget exhausted ({max_events}); "
+                        "possible protocol livelock")
+            if not heap and self.stall_check is not None:
+                self.stall_check()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def drain_check(self) -> None:
+        live = self.pending()
+        if live:
+            raise SimulationError(f"{live} events still pending")

@@ -40,6 +40,21 @@ class StatsRegistry:
     def counters(self) -> Mapping[str, float]:
         return dict(self._counters)
 
+    def raw_counters(self) -> Dict[str, float]:
+        """The live flat-counter dict, for hot-path callers.
+
+        A component that increments the same counters millions of times
+        (the network) may hold this defaultdict and do ``d[name] += x``
+        directly, skipping the :meth:`incr` call overhead.  The dict is
+        live for the registry's whole lifetime — snapshots, merges and
+        reports all observe increments made through it.
+        """
+        return self._counters
+
+    def raw_group(self, group: str) -> Dict[str, float]:
+        """The live counter dict for one group (see :meth:`raw_counters`)."""
+        return self._groups[group]
+
     # -- grouped counters ------------------------------------------------
     def incr_group(self, group: str, key: str, amount: float = 1.0) -> None:
         self._groups[group][key] += amount
@@ -92,6 +107,7 @@ class StatsRegistry:
         for name, value in payload.get("counters", {}).items():
             registry._counters[name] = float(value)
         for group, keys in payload.get("groups", {}).items():
+            registry._groups[group]     # materialize even when empty
             for key, value in keys.items():
                 registry._groups[group][key] = float(value)
         return registry

@@ -19,6 +19,11 @@ from ..coherence.messages import AtomicOp
 
 
 class OpKind(enum.Enum):
+    """Trace op kinds; keys the device-model dispatch tables, so use
+    the C identity hash (members are singletons)."""
+
+    __hash__ = object.__hash__
+
     LOAD = "load"
     STORE = "store"
     RMW = "rmw"

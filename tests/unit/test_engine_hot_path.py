@@ -1,0 +1,270 @@
+"""Hot-path engine overhaul: counters, compaction, FIFO, bug fixes.
+
+These tests pin the observable semantics of the indexed event queue
+(`repro.sim.engine`): the O(1) live/non-idle counters across schedule,
+cancel, pop and compaction; heap compaction preserving execution order;
+the same-cycle FIFO micro-queue; ``args``-carrying events; and the
+three scheduler bug fixes that shipped with the overhaul —
+
+* ``Engine.run(max_events=N)`` no longer raises when the N-th event
+  legitimately drained the queue (off-by-one);
+* ``Engine.schedule_at`` no longer drops the ``idle`` flag, so
+  absolute-time watchdog ticks cannot stretch a quiescent run;
+* ``Network.in_flight()`` is exact at every cycle (event-driven
+  pruning instead of lazy rescans on send).
+"""
+
+import pytest
+
+from repro.coherence.messages import Message, MsgKind
+from repro.network.noc import LatencyModel, Network
+from repro.sim.engine import (COMPACT_MIN_CANCELLED, Engine,
+                              SimulationError)
+from repro.sim.stats import StatsRegistry
+
+
+# ----------------------------------------------------------------------
+# live / non-idle counters
+# ----------------------------------------------------------------------
+def test_counters_track_schedule_and_cancel():
+    engine = Engine()
+    work = [engine.schedule(5, lambda: None) for _ in range(4)]
+    idle = [engine.schedule(9, lambda: None, idle=True)
+            for _ in range(3)]
+    assert engine.pending() == 7
+    assert engine.pending_non_idle() == 4
+    work[0].cancel()
+    idle[0].cancel()
+    assert engine.pending() == 5
+    assert engine.pending_non_idle() == 3
+    # double-cancel must not decrement twice
+    work[0].cancel()
+    assert engine.pending() == 5
+    assert engine.pending_non_idle() == 3
+
+
+def test_counters_track_pops_and_idle_drop():
+    engine = Engine()
+    engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None, idle=True)
+    engine.run()
+    # the idle event was dropped (no non-idle work remained), time
+    # stopped at the last real event, and nothing is left queued
+    assert engine.now == 1
+    assert engine.events_executed == 1
+    assert engine.pending() == 0
+    assert engine.pending_non_idle() == 0
+
+
+def test_counters_survive_nested_scheduling():
+    engine = Engine()
+    seen = []
+
+    def outer():
+        seen.append(engine.pending_non_idle())
+        engine.schedule(0, lambda: seen.append("inner"))
+        engine.schedule(3, lambda: seen.append("later"))
+
+    engine.schedule(2, outer)
+    engine.run()
+    assert seen == [0, "inner", "later"]
+    assert engine.pending() == 0
+
+
+# ----------------------------------------------------------------------
+# heap compaction
+# ----------------------------------------------------------------------
+def test_compaction_triggers_and_preserves_order():
+    engine = Engine()
+    total = 4 * COMPACT_MIN_CANCELLED
+    seen = []
+    events = [engine.schedule(10 + i, seen.append, args=(i,))
+              for i in range(total)]
+    survivors = [i for i in range(total) if i % 4 == 0]
+    for i in range(total):
+        if i % 4:
+            events[i].cancel()
+    assert engine.compactions >= 1
+    assert engine.pending() == len(survivors)
+    # the heap physically shrank: compaction really dropped the dead
+    assert len(engine._heap) < total
+    engine.run()
+    assert seen == survivors
+    assert engine.pending() == 0
+
+
+def test_no_compaction_below_threshold():
+    engine = Engine()
+    keep = [engine.schedule(5, lambda: None)
+            for _ in range(4 * COMPACT_MIN_CANCELLED)]
+    victims = [engine.schedule(6, lambda: None)
+               for _ in range(COMPACT_MIN_CANCELLED - 1)]
+    for event in victims:
+        event.cancel()
+    # under the count floor: cancelled events stay lazily in the heap
+    assert engine.compactions == 0
+    assert engine.pending() == len(keep)
+
+
+# ----------------------------------------------------------------------
+# same-cycle FIFO micro-queue
+# ----------------------------------------------------------------------
+def test_same_cycle_fifo_respects_heap_seq_order():
+    engine = Engine()
+    order = []
+    # three heap events at t=5 (seqs 0..2); the first two each push a
+    # zero-delay event (seqs 3..4) — (time, seq) order interleaves the
+    # micro-queue strictly after the same-cycle heap events
+    engine.schedule(5, lambda: (order.append("a"),
+                                engine.schedule(0, order.append,
+                                                args=("d",))))
+    engine.schedule(5, lambda: (order.append("b"),
+                                engine.schedule(0, order.append,
+                                                args=("e",))))
+    engine.schedule(5, order.append, args=("c",))
+    engine.run()
+    assert order == ["a", "b", "c", "d", "e"]
+
+
+def test_fifo_chain_executes_in_order():
+    engine = Engine()
+    order = []
+
+    def chain(i):
+        order.append(i)
+        if i < 5:
+            engine.schedule(0, chain, args=(i + 1,))
+
+    engine.schedule(2, chain, args=(0,))
+    engine.run()
+    assert order == [0, 1, 2, 3, 4, 5]
+    assert engine.now == 2
+
+
+def test_fifo_event_can_be_cancelled():
+    engine = Engine()
+    order = []
+
+    def first():
+        victim = engine.schedule(0, order.append, args=("victim",))
+        engine.schedule(0, order.append, args=("kept",))
+        victim.cancel()
+
+    engine.schedule(1, first)
+    engine.run()
+    assert order == ["kept"]
+    assert engine.pending() == 0
+    assert engine.pending_non_idle() == 0
+
+
+def test_zero_delay_outside_run_goes_through_heap():
+    engine = Engine()
+    order = []
+    engine.schedule(0, order.append, args=("a",))
+    engine.schedule(0, order.append, args=("b",))
+    engine.run()
+    assert order == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# bug fix: max_events off-by-one
+# ----------------------------------------------------------------------
+def test_max_events_exact_budget_completes():
+    # Regression: a run whose final event drained the queue used to
+    # raise "budget exhausted" even though it completed legitimately.
+    engine = Engine()
+    for i in range(5):
+        engine.schedule(1 + i, lambda: None)
+    assert engine.run(max_events=5) == 5
+    assert engine.events_executed == 5
+
+
+def test_max_events_raises_with_work_remaining():
+    engine = Engine()
+    for i in range(6):
+        engine.schedule(1 + i, lambda: None)
+    with pytest.raises(SimulationError):
+        engine.run(max_events=5)
+
+
+def test_max_events_ignores_leftover_idle_housekeeping():
+    engine = Engine()
+    for i in range(3):
+        engine.schedule(1 + i, lambda: None)
+    engine.schedule(50, lambda: None, idle=True)
+    # budget reached with only housekeeping left: completes normally
+    assert engine.run(max_events=3) == 3
+
+
+# ----------------------------------------------------------------------
+# bug fix: schedule_at must honour the idle flag
+# ----------------------------------------------------------------------
+def test_schedule_at_keeps_idle_flag():
+    # Regression: schedule_at dropped ``idle``, so an absolute-time
+    # watchdog tick counted as live work and stretched quiescent runs.
+    engine = Engine()
+    engine.schedule(5, lambda: None)
+    ticked = []
+    engine.schedule_at(100, ticked.append, idle=True, args=("tick",))
+    assert engine.pending_non_idle() == 1
+    engine.run()
+    assert ticked == []
+    assert engine.now == 5
+
+
+def test_schedule_at_passes_args():
+    engine = Engine()
+    seen = []
+    engine.schedule_at(7, seen.append, args=(42,))
+    engine.run()
+    assert seen == [42]
+    assert engine.now == 7
+
+
+# ----------------------------------------------------------------------
+# bug fix: Network.in_flight() exact at every cycle
+# ----------------------------------------------------------------------
+class _Sink:
+    def __init__(self, name):
+        self.name = name
+        self.received = []
+
+    def receive(self, msg):
+        self.received.append(msg)
+
+
+def _network():
+    engine = Engine()
+    network = Network(engine, StatsRegistry(), LatencyModel(default=10))
+    src, dst = _Sink("src"), _Sink("dst")
+    network.register(src)
+    network.register(dst)
+    return engine, network, dst
+
+
+def test_in_flight_exact_through_delivery_cycle():
+    engine, network, dst = _network()
+    msg = Message(MsgKind.REQ_V, 0x40, 0x1, src="src", dst="dst")
+    network.send(msg)
+    (delivery, tracked), = network.in_flight()
+    assert tracked is msg
+    # up to the cycle before delivery the message is reported in
+    # flight; from the delivery cycle on it is gone — exactly
+    engine.run(until=delivery - 1)
+    assert len(network.in_flight()) == 1
+    assert dst.received == []
+    engine.run(until=delivery)
+    assert network.in_flight() == []
+    assert dst.received == [msg]
+
+
+def test_in_flight_tracks_multiple_messages():
+    engine, network, dst = _network()
+    first = Message(MsgKind.REQ_V, 0x40, 0x1, src="src", dst="dst")
+    second = Message(MsgKind.REQ_S, 0x80, 0x3, src="src", dst="dst")
+    network.send(first)
+    network.send(second)
+    assert len(network.in_flight()) == 2
+    engine.run()
+    assert network.in_flight() == []
+    assert dst.received == [first, second]
