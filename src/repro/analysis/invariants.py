@@ -136,12 +136,15 @@ class InvariantChecker:
         homes = []
         if self.system.gpu_l2 is not None:
             homes.append(self.system.gpu_l2)
-        if hasattr(self.system.llc, "_owned_mask"):
-            homes.append(self.system.llc)
+        for shard in getattr(self.system, "llcs", None) \
+                or [self.system.llc]:
+            if hasattr(shard, "_owned_mask"):
+                homes.append(shard)
         return homes
 
-    def _home_of(self, l1) -> Optional[object]:
-        target = l1.home
+    def _home_of(self, l1, line: int) -> Optional[object]:
+        """The home auditing ``line`` for ``l1`` (a shard when sharded)."""
+        target = l1.home_for(line) if hasattr(l1, "home_for") else l1.home
         for home in self._homes():
             if home.name == target:
                 return home
@@ -250,11 +253,11 @@ class InvariantChecker:
         for l1 in self._l1s():
             if not isinstance(l1, MESIL1):
                 continue
-            home = self._home_of(l1)
-            if home is None:      # hierarchical MESI L1s talk to the dir
-                continue
             for resident in l1.array.lines():
                 if resident.state != MesiState.S:
+                    continue
+                home = self._home_of(l1, resident.line)
+                if home is None:  # hierarchical MESI L1s talk to the dir
                     continue
                 home_line = home.array.lookup(resident.line, touch=False)
                 if home_line is None:
@@ -277,7 +280,7 @@ class InvariantChecker:
                         continue
                     expected = resident.data[index]
                     for l1 in self._l1s():
-                        if self._home_of(l1) is not home:
+                        if self._home_of(l1, resident.line) is not home:
                             continue
                         copy = l1.array.lookup(resident.line, touch=False)
                         if copy is None:

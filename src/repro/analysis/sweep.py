@@ -63,6 +63,14 @@ class SweepError(RuntimeError):
     """A sweep cell could not be described or executed."""
 
 
+#: CellSpec.kwargs keys that override SystemConfig fields (shard-count
+#: and fabric-topology sweep axes) instead of parameterizing the
+#: workload generator
+CONFIG_KWARGS = ("llc_shards", "shard_interleave", "topology",
+                 "num_sockets", "mesh_hop_latency", "switch_latency",
+                 "cross_socket_latency", "cross_socket_return_latency")
+
+
 # ---------------------------------------------------------------------------
 # cell specification
 # ---------------------------------------------------------------------------
@@ -74,6 +82,11 @@ class CellSpec:
     hashable and its JSON form is canonical.  ``generator_ref`` (a
     ``module:qualname`` string) lets non-registry generators ride
     through the pool; registry workloads resolve by name alone.
+
+    Keys in :data:`CONFIG_KWARGS` parameterize the *system* (shard
+    count, fabric topology) rather than the workload: they flow into
+    ``system_config()`` — and therefore the cache key — but are
+    stripped before the generator is called.
     """
 
     workload: str
@@ -96,6 +109,12 @@ class CellSpec:
     def kwargs_dict(self) -> Dict[str, object]:
         return dict(self.kwargs)
 
+    def workload_kwargs(self) -> Dict[str, object]:
+        """The kwargs the workload generator accepts (system-config
+        overrides like ``llc_shards`` are stripped)."""
+        return {key: value for key, value in self.kwargs
+                if key not in CONFIG_KWARGS}
+
     def resolve_generator(self) -> Callable:
         if self.generator_ref is not None:
             module_name, _, qualname = self.generator_ref.partition(":")
@@ -112,9 +131,12 @@ class CellSpec:
 
     def system_config(self):
         kwargs = self.kwargs_dict()
+        overrides = {key: kwargs[key] for key in CONFIG_KWARGS
+                     if key in kwargs}
         return scaled_config(self.config,
                              int(kwargs.get("num_cpus", 4)),
-                             int(kwargs.get("num_gpus", 4)))
+                             int(kwargs.get("num_gpus", 4)),
+                             **overrides)
 
 
 def grid_specs(workloads: Iterable[str], configs: Iterable[str],
@@ -183,7 +205,7 @@ def simulate_cell(spec: CellSpec, validate_memory: bool = True,
     when the cell actually simulates.
     """
     started = time.perf_counter()
-    workload = spec.resolve_generator()(**spec.kwargs_dict())
+    workload = spec.resolve_generator()(**spec.workload_kwargs())
     reference = workload.reference() if validate_memory else None
 
     from ..system.builder import build_system

@@ -112,6 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="sample StatsRegistry counters every N "
                           "cycles into the trace's counter tracks "
                           "(implies --trace)")
+    _add_fabric_options(run)
 
     for figure, workloads in (("figure2", MICROBENCHMARKS),
                               ("figure3", APPLICATIONS)):
@@ -120,6 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
         fig.add_argument("--cpus", type=int, default=4)
         fig.add_argument("--gpus", type=int, default=4)
         fig.add_argument("--warps", type=int, default=2)
+        _add_fabric_options(fig)
         _add_sweep_options(fig)
 
     head = sub.add_parser("headline",
@@ -127,6 +129,7 @@ def _build_parser() -> argparse.ArgumentParser:
     head.add_argument("--cpus", type=int, default=4)
     head.add_argument("--gpus", type=int, default=4)
     head.add_argument("--warps", type=int, default=2)
+    _add_fabric_options(head)
     _add_sweep_options(head)
 
     sweep = sub.add_parser(
@@ -140,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cpus", type=int, default=4)
     sweep.add_argument("--gpus", type=int, default=4)
     sweep.add_argument("--warps", type=int, default=2)
+    _add_fabric_options(sweep)
     sweep.add_argument("--json", action="store_true",
                        help="emit the full sweep summary as JSON")
     sweep.add_argument("--clear-cache", action="store_true",
@@ -242,6 +246,41 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_fabric_options(parser: argparse.ArgumentParser) -> None:
+    """Shard-count / fabric-topology axes (run, sweep, figures)."""
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="address-interleaved Spandex home shards "
+                             "(1 = the single historical LLC; "
+                             "hierarchical configs ignore this)")
+    parser.add_argument("--interleave", choices=("line", "hash"),
+                        default="line",
+                        help="line->shard mapping: modulo striping or "
+                             "a multiplicative hash")
+    parser.add_argument("--topology",
+                        choices=("p2p", "mesh", "switch", "multi_socket"),
+                        default="p2p",
+                        help="fabric shape: historical point-to-point "
+                             "star, 2D mesh, central switch, or "
+                             "multi-socket with asymmetric cross-"
+                             "socket links")
+    parser.add_argument("--sockets", type=int, default=2, metavar="N",
+                        help="socket count for --topology multi_socket")
+
+
+def _fabric_overrides(args) -> dict:
+    """Non-default fabric settings as SystemConfig override kwargs."""
+    overrides = {}
+    if getattr(args, "shards", 1) != 1:
+        overrides["llc_shards"] = args.shards
+    if getattr(args, "interleave", "line") != "line":
+        overrides["shard_interleave"] = args.interleave
+    if getattr(args, "topology", "p2p") != "p2p":
+        overrides["topology"] = args.topology
+    if getattr(args, "sockets", 2) != 2:
+        overrides["num_sockets"] = args.sockets
+    return overrides
+
+
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for independent cells "
@@ -294,7 +333,7 @@ def _cmd_run(args) -> int:
 
     def system_config(config_name: str):
         config = scaled_config(config_name, args.cpus, args.gpus)
-        replacements = {}
+        replacements = _fabric_overrides(args)
         if args.faults is not None:
             replacements["faults"] = FaultConfig.stress(args.faults)
         if args.watchdog_cycles is not None:
@@ -404,7 +443,8 @@ def _run_grid(args, workload_names) -> "SweepSummary":
     """
     specs = grid_specs(workload_names, CONFIG_ORDER,
                        dict(num_cpus=args.cpus, num_gpus=args.gpus,
-                            warps_per_cu=args.warps))
+                            warps_per_cu=args.warps,
+                            **_fabric_overrides(args)))
     return run_sweep(specs, jobs=args.jobs, cache=_sweep_cache(args),
                      cell_timeout=args.cell_timeout,
                      cell_retries=args.cell_retries)
@@ -460,7 +500,8 @@ def _cmd_sweep(args) -> int:
         return 2
     specs = grid_specs(names, configs,
                        dict(num_cpus=args.cpus, num_gpus=args.gpus,
-                            warps_per_cu=args.warps))
+                            warps_per_cu=args.warps,
+                            **_fabric_overrides(args)))
     summary = run_sweep(specs, jobs=args.jobs, cache=_sweep_cache(args),
                         validate_memory=not args.no_check,
                         cell_timeout=args.cell_timeout,

@@ -60,15 +60,22 @@ TABLE_III = {
 
 
 class HomeTxn:
-    """A blocking transient: words blocked while acks / data collect."""
+    """A blocking transient: words blocked while acks / data collect.
+
+    Transaction ids are per-home-instance (``SpandexHome._new_txn``), so
+    traces and diagnostics do not depend on how many simulations the
+    process ran before this one.  The class-level counter remains only
+    as a fallback for directly constructed transactions (tests).
+    """
 
     _ids = itertools.count(1)
     __slots__ = ("txn_id", "line", "mask", "acks_needed", "data_mask",
                  "data", "on_complete", "kind")
 
     def __init__(self, line: int, mask: int, kind: str,
-                 on_complete: Callable[["HomeTxn"], None]):
-        self.txn_id = next(HomeTxn._ids)
+                 on_complete: Callable[["HomeTxn"], None],
+                 txn_id: Optional[int] = None):
+        self.txn_id = next(HomeTxn._ids) if txn_id is None else txn_id
         self.line = line
         self.mask = mask
         self.kind = kind
@@ -110,6 +117,17 @@ class SpandexHome(Component):
         self._bank_free = [0] * banks
         #: device/TU name -> protocol family ('MESI' | 'DeNovo' | 'GPU')
         self.device_protocols: Dict[str, str] = {}
+        #: per-instance transaction ids: a fresh simulation always sees
+        #: the same id sequence regardless of process history (sweep
+        #: workers reuse interpreters)
+        self._txn_ids = itertools.count(1)
+        #: multi-home sharding (set by the system builder when
+        #: ``llc_shards > 1``): the shared line->home map makes
+        #: misrouted requests fail loudly, and ``bank_stride`` keys
+        #: bank arbitration on the within-shard line index so all
+        #: banks stay populated under line interleaving
+        self.home_map = None
+        self.bank_stride = 1
         self._txns: Dict[int, HomeTxn] = {}
         self._deferred: Dict[int, List[Message]] = {}
         self._fetching: Set[int] = set()
@@ -150,8 +168,21 @@ class SpandexHome(Component):
     # ------------------------------------------------------------------
     # network entry: bank arbitration then protocol processing
     # ------------------------------------------------------------------
+    def _new_txn(self, line: int, mask: int, kind: str,
+                 on_complete: Callable[[HomeTxn], None]) -> HomeTxn:
+        return HomeTxn(line, mask, kind, on_complete,
+                       txn_id=next(self._txn_ids))
+
     def receive(self, msg: Message) -> None:
-        bank = (msg.line >> 6) % self.banks
+        if self.home_map is not None and \
+                self.home_map.home_for(msg.line) != self.name:
+            raise SimulationError(
+                f"{self.name}: misrouted line {msg.line:#x} "
+                f"(home is {self.home_map.home_for(msg.line)!r}): {msg}")
+        index = msg.line >> 6
+        if self.bank_stride != 1:
+            index //= self.bank_stride
+        bank = index % self.banks
         start = max(self.now, self._bank_free[bank])
         self._bank_free[bank] = start + self.bank_busy_cycles
         delay = (start - self.now) + self.access_latency
@@ -305,7 +336,7 @@ class SpandexHome(Component):
         self.stats.incr("llc.evictions")
         sharers = self._sharers(victim)
         if victim.state == HomeState.S and sharers:
-            txn = HomeTxn(victim.line, FULL_LINE_MASK, "evict-inv",
+            txn = self._new_txn(victim.line, FULL_LINE_MASK, "evict-inv",
                           lambda t: self._evict_finish(victim, then))
             self._begin_invalidate(victim, FULL_LINE_MASK, set(), txn)
             return
@@ -512,7 +543,7 @@ class SpandexHome(Component):
                     if self.device_protocols.get(prev) == "MESI":
                         # a MESI owner keeps a Shared copy (M -> S)
                         self._sharers(lo).add(prev)
-                txn = HomeTxn(msg.line, owner_mask, f"reqs:{owner}",
+                txn = self._new_txn(msg.line, owner_mask, f"reqs:{owner}",
                               complete)
                 txn.data_mask = owner_mask
                 self._txns[txn.txn_id] = txn
@@ -545,7 +576,7 @@ class SpandexHome(Component):
         if line_obj.state == HomeState.S and self._sharers(line_obj):
             # Writer-invalidation overhead: Inv sharers, collect Acks,
             # then retry this request (blocking transient).
-            txn = HomeTxn(msg.line, msg.mask, "write-inv",
+            txn = self._new_txn(msg.line, msg.mask, "write-inv",
                           lambda t: self._process_request(msg))
             self._begin_invalidate(line_obj, msg.mask, {msg.src}, txn)
             return
@@ -589,7 +620,7 @@ class SpandexHome(Component):
     # -- ReqWT+data (atomics performed at the LLC) -------------------------
     def _handle_atomic(self, msg: Message, line_obj: CacheLine) -> None:
         if line_obj.state == HomeState.S and self._sharers(line_obj):
-            txn = HomeTxn(msg.line, msg.mask, "atomic-inv",
+            txn = self._new_txn(msg.line, msg.mask, "atomic-inv",
                           lambda t: self._process_request(msg))
             self._begin_invalidate(line_obj, msg.mask, {msg.src}, txn)
             return
@@ -599,7 +630,7 @@ class SpandexHome(Component):
         if owned:
             # Blocking: revoke ownership, wait for the writeback, then
             # retry (Figure 1b).
-            txn = HomeTxn(msg.line, owned, "atomic-rvk",
+            txn = self._new_txn(msg.line, owned, "atomic-rvk",
                           lambda t: self._process_request(msg))
             self._begin_revoke(line_obj, owned, txn)
             return

@@ -115,7 +115,7 @@ class TranslationUnit(Component):
                               info=f"attempt={attempts + 1}")
             self.schedule(delay, lambda: self.network.send(Message(
                 MsgKind.REQ_V, msg.line, msg.mask, src=self.name,
-                dst=self.l1.home, req_id=msg.req_id)),
+                dst=self.l1.home_for(msg.line), req_id=msg.req_id)),
                 label="nack-backoff")
             return
         self._retries.pop(msg.req_id, None)
@@ -142,7 +142,7 @@ class GPUCoherenceTU(TranslationUnit):
         self.stats.incr("tu.escalations")
         self.network.send(Message(
             MsgKind.REQ_WT_DATA, msg.line, msg.mask, src=self.name,
-            dst=self.l1.home, req_id=msg.req_id))
+            dst=self.l1.home_for(msg.line), req_id=msg.req_id))
 
 
 class DeNovoTU(TranslationUnit):
@@ -154,7 +154,7 @@ class DeNovoTU(TranslationUnit):
         self.stats.incr("tu.escalations")
         self.network.send(Message(
             MsgKind.REQ_O_DATA, msg.line, msg.mask, src=self.name,
-            dst=self.l1.home, req_id=msg.req_id))
+            dst=self.l1.home_for(msg.line), req_id=msg.req_id))
 
 
 class MESITU(TranslationUnit):
@@ -331,13 +331,14 @@ class MESITU(TranslationUnit):
         values = {index: data[index] for index in iter_mask(mask)
                   if index in data}
         self._tu_wb.setdefault(line, {}).update(values)
+        home = self.l1.home_for(line)
         msg = Message(MsgKind.REQ_WB, line, mask, src=self.name,
-                      dst=self.l1.home, data=values)
+                      dst=home, data=values)
         self._own_req_lines[msg.req_id] = line
         self.stats.incr("tu.partial_writebacks")
         tracer = self.engine.tracer
         if tracer is not None:
-            tracer.record("tu.wb", self.name, dst=self.l1.home,
+            tracer.record("tu.wb", self.name, dst=home,
                           line=line, req_id=msg.req_id,
                           info=f"mask=0x{mask:04x}")
         self.network.send(msg)

@@ -34,9 +34,13 @@ def _homes(system) -> List:
     gpu_l2 = getattr(system, "gpu_l2", None)
     if gpu_l2 is not None:
         homes.append(gpu_l2)
-    llc = getattr(system, "llc", None)
-    if llc is not None:
-        homes.append(llc)
+    shards = getattr(system, "llcs", None)
+    if shards:
+        homes.extend(shards)
+    else:
+        llc = getattr(system, "llc", None)
+        if llc is not None:
+            homes.append(llc)
     return homes
 
 

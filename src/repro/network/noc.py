@@ -50,12 +50,21 @@ class LatencyModel:
     def __init__(self, default: int = 12):
         self.default = default
         self._pairs: Dict[Tuple[str, str], int] = {}
+        #: bumped on every mutation; cached per-link latencies carry the
+        #: version they were derived from and refresh on mismatch, so
+        #: topology rewiring mid-run is never silently ignored
+        self.version = 0
 
     def set_pair(self, src: str, dst: str, latency: int,
                  symmetric: bool = True) -> None:
         self._pairs[(src, dst)] = latency
         if symmetric:
             self._pairs[(dst, src)] = latency
+        self.version += 1
+
+    def set_default(self, latency: int) -> None:
+        self.default = latency
+        self.version += 1
 
     def latency(self, src: str, dst: str) -> int:
         return self._pairs.get((src, dst), self.default)
@@ -70,12 +79,13 @@ class _Link:
     dict lookup instead of one per field.
     """
 
-    __slots__ = ("free", "last_delivery", "latency", "labels")
+    __slots__ = ("free", "last_delivery", "latency", "version", "labels")
 
-    def __init__(self, latency: int):
+    def __init__(self, latency: int, version: int):
         self.free = 0
         self.last_delivery = 0
         self.latency = latency
+        self.version = version
         self.labels: Dict[object, str] = {}
 
 
@@ -169,6 +179,8 @@ class Network:
         dst = msg.dst
         if dst not in self._endpoints:
             raise SimulationError(f"unknown destination {dst!r} for {msg}")
+        if msg.src not in self._endpoints:
+            raise SimulationError(f"unknown source {msg.src!r} for {msg}")
         size = msg.size_bytes()
         traffic_class = msg.traffic_class
         counters = self._counters
@@ -179,10 +191,16 @@ class Network:
 
         engine = self.engine
         now = engine.now
+        model = self.latency_model
         link = self._links.get((msg.src, dst))
         if link is None:
             link = self._links[(msg.src, dst)] = _Link(
-                self.latency_model.latency(msg.src, dst))
+                model.latency(msg.src, dst), model.version)
+        elif link.version != model.version:
+            # the model changed after this link first carried traffic
+            # (topology rewiring, test reconfiguration): re-derive
+            link.latency = model.latency(msg.src, dst)
+            link.version = model.version
         serialization = ceil(size / self.link_bytes_per_cycle)
         if serialization < 1:
             serialization = 1

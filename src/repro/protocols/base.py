@@ -104,6 +104,9 @@ class L1Controller(Component):
         self.network = network
         self.stats = stats
         self.home = home
+        #: line->home mapping for sharded systems; None keeps ``home``
+        #: as the single destination (see :meth:`home_for`)
+        self.home_map = None
         self.mshrs: MSHRFile = MSHRFile(mshr_entries,
                                         clock=lambda: engine.now)
         # the MSHR file has no engine reference of its own; hand it the
@@ -259,10 +262,18 @@ class L1Controller(Component):
         else:
             self.network.send(msg)
 
+    def home_for(self, line: int) -> str:
+        """The home that serializes ``line`` (a shard when sharded)."""
+        home_map = self.home_map
+        if home_map is None:
+            return self.home
+        return home_map.home_for(line)
+
     def request(self, kind: MsgKind, line: int, mask: int,
                 dst: Optional[str] = None, **kwargs) -> Message:
         msg = Message(kind, line, mask, src=self.name,
-                      dst=dst or self.home, **kwargs)
+                      dst=dst if dst is not None else self.home_for(line),
+                      **kwargs)
         self.send(msg)
         return msg
 

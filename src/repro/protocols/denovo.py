@@ -305,13 +305,13 @@ class DeNovoL1(L1Controller):
             inflight.meta["retries"] = retries + 1
             self.count("reqv_retries")
             self.send(Message(MsgKind.REQ_V, msg.line, msg.mask,
-                              src=self.name, dst=self.home,
+                              src=self.name, dst=self.home_for(msg.line),
                               req_id=msg.req_id))
         else:
             # escalate to an ordering-enforcing request (§III-C.3)
             self.count("reqv_escalations")
             self.send(Message(MsgKind.REQ_O_DATA, msg.line, msg.mask,
-                              src=self.name, dst=self.home,
+                              src=self.name, dst=self.home_for(msg.line),
                               req_id=msg.req_id))
 
     # -- responses -------------------------------------------------------

@@ -19,7 +19,7 @@ from typing import Callable, Dict
 
 from ..coherence.addr import FULL_LINE_MASK
 from ..coherence.messages import Message, MsgKind
-from ..core.home import HomeState, HomeTxn, SpandexHome
+from ..core.home import HomeState, SpandexHome
 from ..mem.cache import CacheLine
 from ..sim.engine import SimulationError
 
@@ -186,8 +186,8 @@ class GPUL2(SpandexHome):
         if not owned:
             then()      # synchronous: nothing can interleave
             return
-        txn = HomeTxn(line_obj.line, FULL_LINE_MASK, kind,
-                      lambda t: then())
+        txn = self._new_txn(line_obj.line, FULL_LINE_MASK, kind,
+                            lambda t: then())
         self._begin_revoke(line_obj, FULL_LINE_MASK, txn)
 
     def _up_fwd_gets(self, msg: Message) -> None:

@@ -34,14 +34,24 @@ class DirState(enum.Enum):
 
 
 class DirTxn:
+    """A blocking directory transient.
+
+    Transaction ids are per-directory-instance (``_new_txn``), so a
+    fresh simulation always sees the same id sequence regardless of
+    how many runs the process completed before it.  The class-level
+    counter remains only as a fallback for directly constructed
+    transactions (tests).
+    """
+
     _ids = itertools.count(1)
 
     __slots__ = ("txn_id", "line", "acks_needed", "want_data",
                  "on_complete")
 
     def __init__(self, line: int,
-                 on_complete: Callable[["DirTxn"], None]):
-        self.txn_id = next(DirTxn._ids)
+                 on_complete: Callable[["DirTxn"], None],
+                 txn_id: Optional[int] = None):
+        self.txn_id = next(DirTxn._ids) if txn_id is None else txn_id
         self.line = line
         self.acks_needed = 0
         self.want_data = False
@@ -70,12 +80,17 @@ class MESIDirectoryLLC(Component):
         self.banks = banks
         self.bank_busy_cycles = bank_busy_cycles
         self._bank_free = [0] * banks
+        self._txn_ids = itertools.count(1)
         self._txns: Dict[int, DirTxn] = {}
         self._deferred: Dict[int, List[Message]] = {}
         self._fetching: Set[int] = set()
         network.register(self)
 
     # ------------------------------------------------------------------
+    def _new_txn(self, line: int,
+                 on_complete: Callable[[DirTxn], None]) -> DirTxn:
+        return DirTxn(line, on_complete, txn_id=next(self._txn_ids))
+
     def receive(self, msg: Message) -> None:
         bank = (msg.line >> 6) % self.banks
         start = max(self.now, self._bank_free[bank])
@@ -191,7 +206,7 @@ class MESIDirectoryLLC(Component):
         self.stats.incr("llc.evictions")
         sharers = self._sharers(victim)
         if victim.state == DirState.S and sharers:
-            txn = DirTxn(victim.line,
+            txn = self._new_txn(victim.line,
                          lambda t: self._evict_finish(victim, then))
             self._block(victim)
             targets = sorted(sharers)
@@ -288,7 +303,7 @@ class MESIDirectoryLLC(Component):
                           line_obj.read_data(FULL_LINE_MASK))
         else:  # M: blocking forward to the owner
             owner = self._owner(line_obj)
-            txn = DirTxn(msg.line,
+            txn = self._new_txn(msg.line,
                          lambda t: self._gets_owned_done(msg, line_obj,
                                                          owner))
             txn.want_data = True
@@ -323,7 +338,7 @@ class MESIDirectoryLLC(Component):
                 line_obj.meta["sharers"] = set()
                 self._grant_m(msg, line_obj)
                 return
-            txn = DirTxn(msg.line,
+            txn = self._new_txn(msg.line,
                          lambda t: self._grant_m(msg, line_obj))
             txn.acks_needed = len(sharers)
             self._txns[txn.txn_id] = txn
@@ -344,7 +359,7 @@ class MESIDirectoryLLC(Component):
             if owner == msg.src:
                 # should not happen: owners upgrade silently
                 raise SimulationError(f"{self.name}: GetM from owner {msg}")
-            txn = DirTxn(msg.line,
+            txn = self._new_txn(msg.line,
                          lambda t: self._getm_owned_done(msg, line_obj))
             txn.acks_needed = 1    # the owner's MESI_INV_ACK
             self._txns[txn.txn_id] = txn

@@ -18,12 +18,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core.llc import SpandexLLC
+from ..core.shard import HomeMap, shard_names, shard_size
 from ..core.tu import make_tu
 from ..devices.cpu import CPUCore
 from ..devices.gpu import GPUCU
 from ..faults import FaultInjector, LivenessWatchdog
 from ..mem.dram import MainMemory
 from ..network.noc import LatencyModel, Network
+from ..network.topology import Attachment, TopoEndpoint, build_topology
 from ..obs import (MetricsTimeSeries, TraceFilter, TraceRecorder,
                    TransactionProfiler)
 from ..protocols.denovo import DeNovoL1
@@ -54,7 +56,16 @@ class System:
         self.cpu_l1s: List = []
         self.gpu_l1s: List = []
         self.llc = None           # SpandexLLC or MESIDirectoryLLC
+        #: every Spandex home shard (== [self.llc] for 1-shard and
+        #: hierarchical builds); consumers that audit home state
+        #: iterate this instead of assuming a single LLC
+        self.llcs: List = []
+        self.home_map: Optional[HomeMap] = None
+        self.topology = None      # installed network.topology.Topology
         self.gpu_l2: Optional[GPUL2] = None
+        #: endpoint / star-edge records the topology builder consumes
+        self._topo_endpoints: List[TopoEndpoint] = []
+        self._topo_attachments: List[Attachment] = []
         self.fault_injector: Optional[FaultInjector] = None
         if config.faults is not None and config.faults.active:
             self.fault_injector = FaultInjector(config.faults, self.stats)
@@ -82,8 +93,12 @@ class System:
                     self.stats, config.trace.metrics_interval)
                 self.tracer.sinks.append(self.metrics)
         self._build()
+        self.topology = build_topology(config, self._topo_endpoints,
+                                       self._topo_attachments)
+        self.topology.install(self.latency_model)
         if self.tracer is not None:
-            self.tracer.homes.add(self.llc.name)
+            for shard in self.llcs:
+                self.tracer.homes.add(shard.name)
             if self.gpu_l2 is not None:
                 self.tracer.homes.add(self.gpu_l2.name)
 
@@ -117,29 +132,49 @@ class System:
 
     def _build_spandex(self) -> None:
         config = self.config
-        self.llc = SpandexLLC(
-            self.engine, self.network, self.stats, self.dram,
-            size_bytes=config.llc_size, assoc=config.llc_assoc,
-            access_latency=config.llc_access_latency,
-            banks=config.llc_banks)
-        self.llc.fault_injector = self.fault_injector
+        names = shard_names(config.llc_shards)
+        self.home_map = HomeMap(names, config.shard_interleave)
+        sharded = len(names) > 1
+        for shard_name in names:
+            shard = SpandexLLC(
+                self.engine, self.network, self.stats, self.dram,
+                size_bytes=shard_size(config.llc_size, len(names),
+                                      config.llc_assoc),
+                assoc=config.llc_assoc,
+                access_latency=config.llc_access_latency,
+                banks=config.llc_banks, name=shard_name)
+            shard.fault_injector = self.fault_injector
+            if sharded:
+                # misroutes fail loudly; bank index keys on the
+                # within-shard line so striping fills all banks
+                shard.home_map = self.home_map
+                if config.shard_interleave == "line":
+                    shard.bank_stride = len(names)
+            self.llcs.append(shard)
+            self._topo_endpoints.append(TopoEndpoint(shard_name, "home"))
+        self.llc = self.llcs[0]
         for index in range(config.num_cpus):
             name = f"cpu{index}.l1"
             if config.cpu_protocol == "MESI":
                 l1 = MESIL1(self.engine, name, dialect="spandex",
                             register_on_network=False,
-                            **self._base_kwargs("llc"), **self._l1_kwargs())
+                            **self._base_kwargs(names[0]),
+                            **self._l1_kwargs())
             else:
                 l1 = DeNovoL1(self.engine, name,
                               atomic_policy=config.cpu_atomic_policy,
                               nack_retry_limit=0,
                               register_on_network=False,
-                              **self._base_kwargs("llc"),
+                              **self._base_kwargs(names[0]),
                               **self._l1_kwargs())
+            l1.home_map = self.home_map
             tu = make_tu(self.engine, self.network, self.stats, l1,
                          config.tu_latency, **self._tu_kwargs())
-            self.llc.device_protocols[name] = l1.PROTOCOL_FAMILY
-            self.latency_model.set_pair(name, "llc", config.net_cpu_llc)
+            self._topo_endpoints.append(TopoEndpoint(name, "cpu"))
+            for shard in self.llcs:
+                shard.device_protocols[name] = l1.PROTOCOL_FAMILY
+                self._topo_attachments.append(
+                    Attachment(name, shard.name, config.net_cpu_llc))
             self.cpu_l1s.append(l1)
             core = CPUCore(self.engine, f"cpu{index}", l1, self.stats,
                            issue_period=config.cpu_issue_period)
@@ -149,18 +184,22 @@ class System:
             if config.gpu_protocol == "GPU":
                 l1 = GPUCoherenceL1(self.engine, name,
                                     register_on_network=False,
-                                    **self._base_kwargs("llc"),
+                                    **self._base_kwargs(names[0]),
                                     **self._l1_kwargs())
             else:
                 l1 = DeNovoL1(self.engine, name, atomic_policy="own",
                               nack_retry_limit=0,
                               register_on_network=False,
-                              **self._base_kwargs("llc"),
+                              **self._base_kwargs(names[0]),
                               **self._l1_kwargs())
+            l1.home_map = self.home_map
             tu = make_tu(self.engine, self.network, self.stats, l1,
                          config.tu_latency, **self._tu_kwargs())
-            self.llc.device_protocols[name] = l1.PROTOCOL_FAMILY
-            self.latency_model.set_pair(name, "llc", config.net_gpu_llc)
+            self._topo_endpoints.append(TopoEndpoint(name, "gpu"))
+            for shard in self.llcs:
+                shard.device_protocols[name] = l1.PROTOCOL_FAMILY
+                self._topo_attachments.append(
+                    Attachment(name, shard.name, config.net_gpu_llc))
             self.gpu_l1s.append(l1)
             cu = GPUCU(self.engine, f"gpu{index}", l1, self.stats,
                        issue_period=config.gpu_issue_period)
@@ -179,12 +218,18 @@ class System:
             access_latency=config.gpu_l2_access_latency,
             banks=config.llc_banks, l3_name="l3")
         self.gpu_l2.fault_injector = self.fault_injector
-        self.latency_model.set_pair("gpu_l2", "l3", config.net_l2_l3)
+        self.llcs.append(self.llc)
+        self._topo_endpoints.append(TopoEndpoint("l3", "home"))
+        self._topo_endpoints.append(TopoEndpoint("gpu_l2", "gpu_l2"))
+        self._topo_attachments.append(
+            Attachment("gpu_l2", "l3", config.net_l2_l3))
         for index in range(config.num_cpus):
             name = f"cpu{index}.l1"
             l1 = MESIL1(self.engine, name, dialect="mesi",
                         **self._base_kwargs("l3"), **self._l1_kwargs())
-            self.latency_model.set_pair(name, "l3", config.net_cpu_llc)
+            self._topo_endpoints.append(TopoEndpoint(name, "cpu"))
+            self._topo_attachments.append(
+                Attachment(name, "l3", config.net_cpu_llc))
             self.cpu_l1s.append(l1)
             core = CPUCore(self.engine, f"cpu{index}", l1, self.stats,
                            issue_period=config.cpu_issue_period)
@@ -201,7 +246,9 @@ class System:
                               **self._base_kwargs("gpu_l2"),
                               **self._l1_kwargs())
             self.gpu_l2.device_protocols[name] = l1.PROTOCOL_FAMILY
-            self.latency_model.set_pair(name, "gpu_l2", config.net_gpu_l2)
+            self._topo_endpoints.append(TopoEndpoint(name, "gpu"))
+            self._topo_attachments.append(
+                Attachment(name, "gpu_l2", config.net_gpu_l2))
             self.gpu_l1s.append(l1)
             cu = GPUCU(self.engine, f"gpu{index}", l1, self.stats,
                        issue_period=config.gpu_issue_period)
@@ -239,7 +286,7 @@ class System:
             elif isinstance(l1, MESIL1):
                 if resident.state in (MesiState.M, MesiState.E):
                     return resident.data[index]
-        for home in (self.gpu_l2, self.llc):
+        for home in [self.gpu_l2] + list(self.llcs):
             if home is None:
                 continue
             resident = home.array.lookup(line, touch=False)

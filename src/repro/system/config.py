@@ -122,6 +122,16 @@ class SystemConfig:
     llc_banks: int = 16
     llc_assoc: int = 16
 
+    #: Spandex home shards: ``llc_size`` splits evenly across
+    #: ``llc_shards`` address-interleaved homes (``llc0 … llcN-1``); 1
+    #: keeps the historical single home named ``llc`` and is
+    #: bit-identical to the pre-shard build.  Hierarchical
+    #: configurations have a directory L3 and ignore extra shards.
+    llc_shards: int = 1
+    #: line->shard function: 'line' = (line >> 6) % N striping,
+    #: 'hash' = multiplicative hash before the modulo
+    shard_interleave: str = "line"
+
     llc_access_latency: int = 10
     l3_access_latency: int = 12
     gpu_l2_access_latency: int = 10
@@ -133,6 +143,18 @@ class SystemConfig:
     net_l2_l3: int = 10
     net_default: int = 12
     link_bytes_per_cycle: int = 32
+
+    #: fabric shape (repro.network.topology): 'p2p' is the historical
+    #: star wiring; 'mesh' / 'switch' / 'multi_socket' derive every
+    #: pair latency from hop routes
+    topology: str = "p2p"
+    num_sockets: int = 2              # multi_socket partitions
+    mesh_hop_latency: int = 4         # per Manhattan hop
+    switch_latency: int = 6           # central switch traversal
+    #: asymmetric cross-socket link (CXL/NVLink-C2C style): requests
+    #: toward a higher-numbered socket vs the return direction
+    cross_socket_latency: int = 40
+    cross_socket_return_latency: int = 60
 
     tu_latency: int = 1
 

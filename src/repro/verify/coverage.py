@@ -58,7 +58,8 @@ class CoverageRecorder:
     # -- wiring --------------------------------------------------------
     def attach(self, system) -> None:
         self._resolve = dict(system.l1s)
-        self._resolve[system.llc.name] = system.llc
+        for shard in getattr(system, "llcs", None) or [system.llc]:
+            self._resolve[shard.name] = shard
         if system.gpu_l2 is not None:
             self._resolve[system.gpu_l2.name] = system.gpu_l2
         for l1 in list(system.cpu_l1s) + list(system.gpu_l1s):

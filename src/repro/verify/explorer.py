@@ -85,6 +85,9 @@ class ControlledNetwork(Network):
         if msg.dst not in self._endpoints:
             raise SimulationError(
                 f"unknown destination {msg.dst!r} for {msg}")
+        if msg.src not in self._endpoints:
+            raise SimulationError(
+                f"unknown source {msg.src!r} for {msg}")
         size = msg.size_bytes()
         self.stats.incr("network.messages")
         self.stats.incr("network.bytes", size)
@@ -404,6 +407,9 @@ def run_schedule(scenario, config_name: str, chooser=None, *,
     system = VerifySystem(config_name, network_cls=ControlledNetwork,
                           l1_size=spec.get("l1_size", 8 * 1024),
                           l1_assoc=spec.get("l1_assoc", 8),
+                          llc_shards=spec.get("llc_shards", 1),
+                          shard_interleave=spec.get("shard_interleave",
+                                                    "line"),
                           trace=trace)
     system.verify_context = dict(context or {})
     system.verify_context.setdefault("scenario", scenario.name)

@@ -484,3 +484,72 @@ def _two_lines_independent() -> Dict:
         "c0": [Op.store(DATA, 1)],
         "g0": [Op.store(DATA2, 2)],
     }}
+
+
+# ---------------------------------------------------------------------
+# cross-shard races (llc_shards=2, line interleave: even line indices
+# home at llc0, odd at llc1 — see repro.core.shard).  The flag and the
+# data deliberately home at *different* shards, so publication order
+# is no longer serialized by a single home: the release edge must hold
+# across independently progressing shards.  Hierarchical
+# configurations ignore the shard count and run the same specs
+# against their directory.
+# ---------------------------------------------------------------------
+CNT2 = 0x1_2040          # (line>>6) odd: homes at llc1; CNT at llc0
+
+
+@litmus("xshard-mp-handoff",
+        "Message passing where the data word homes at shard 0 and the "
+        "flag at shard 1: the RspWT for the flag can race ahead of the "
+        "data's acknowledgement on a different home, so the writer's "
+        "release must fence across shards.",
+        races=("reqv-vs-owner", "xshard-release"),
+        tags=("xshard",))
+def _xshard_mp_handoff() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 61), Op.release_fence(),
+               Op.store(FLAG2, 1)],
+        "g0": [Op.spin_ge(FLAG2, 1), Op.load(DATA)],
+    }, "llc_shards": 2}
+
+
+@litmus("xshard-ownership-migration",
+        "Ownership of a shard-0 word migrates c0 -> g0 -> c0 while the "
+        "turn variable lives at shard 1: ReqO forwarding and the "
+        "publication edge are serialized by different homes.",
+        races=("reqo-vs-owner", "xshard-release"),
+        tags=("xshard", "kills:denovo-reqo-keeps-owner"))
+def _xshard_ownership_migration() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 10), Op.release_fence(),
+               Op.store(FLAG2, 1), Op.spin_ge(FLAG2, 2), Op.load(DATA)],
+        "g0": [Op.spin_ge(FLAG2, 1), Op.store(DATA, 20),
+               Op.release_fence(), Op.store(FLAG2, 2)],
+    }, "llc_shards": 2}
+
+
+@litmus("xshard-atomic-counters",
+        "Every thread bumps one counter on each shard: both homes "
+        "serialize their own atomics while the interleaved traffic "
+        "crosses shards between the bumps (final = 4 at both).",
+        races=("atomic-vs-owner",),
+        tags=("xshard",))
+def _xshard_atomic_counters() -> Dict:
+    bumps = [Op.rmw(CNT, atomic_add(1)), Op.rmw(CNT2, atomic_add(1))]
+    return {"threads": {name: list(bumps) for name in THREAD_NAMES},
+            "llc_shards": 2}
+
+
+@litmus("xshard-release-fan-in",
+        "A writer dirties one word on each shard, then publishes with "
+        "a flag homed at shard 1: the release flush must complete at "
+        "BOTH homes before the flag store issues, and the reader's "
+        "acquire must re-observe words from both shards.",
+        races=("wb-vs-flag", "xshard-release"),
+        tags=("xshard",))
+def _xshard_release_fan_in() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 1), Op.store(DATA2, 2),
+               Op.release_fence(), Op.store(FLAG2, 1)],
+        "g1": [Op.spin_ge(FLAG2, 1), Op.load(DATA), Op.load(DATA2)],
+    }, "llc_shards": 2}

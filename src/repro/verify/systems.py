@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core.llc import SpandexLLC
+from ..core.shard import HomeMap, shard_names, shard_size
 from ..core.tu import make_tu
 from ..mem.dram import MainMemory
 from ..network.noc import LatencyModel, Network
@@ -41,10 +42,13 @@ class VerifySystem:
     def __init__(self, config_name: str, network_cls=Network,
                  l1_size: int = 8 * 1024, l1_assoc: int = 8,
                  llc_size: int = 64 * 1024,
-                 coalesce_delay: int = 1, trace: bool = False):
+                 coalesce_delay: int = 1, trace: bool = False,
+                 llc_shards: int = 1, shard_interleave: str = "line"):
         config = CONFIGS[config_name]
         self.config_name = config_name
         self.config = config
+        self.llc_shards = llc_shards if not config.hierarchical else 1
+        self.shard_interleave = shard_interleave
         self.engine = Engine()
         self.tracer = None
         if trace:
@@ -61,6 +65,8 @@ class VerifySystem:
         self.tus: Dict[str, object] = {}
         self.gpu_l2: Optional[GPUL2] = None
         self.l3: Optional[MESIDirectoryLLC] = None
+        self.llcs: List = []
+        self.home_map: Optional[HomeMap] = None
         #: attached by the explorer: {"scenario":…, "config":…, …} so
         #: diagnostics identify the failing schedule (see repro.faults)
         self.verify_context: Optional[Dict[str, object]] = None
@@ -73,53 +79,72 @@ class VerifySystem:
         self.l1s: Dict[str, object] = {
             l1.name: l1 for l1 in self.cpu_l1s + self.gpu_l1s}
         if self.tracer is not None:
-            self.tracer.homes.add(self.llc.name)
+            for shard in self.llcs:
+                self.tracer.homes.add(shard.name)
             if self.gpu_l2 is not None:
                 self.tracer.homes.add(self.gpu_l2.name)
 
     # ------------------------------------------------------------------
     def _build_spandex(self, config, l1_size, l1_assoc, llc_size,
                        coalesce_delay):
-        self.llc = SpandexLLC(self.engine, self.network, self.stats,
-                              self.dram, size_bytes=llc_size,
-                              access_latency=3)
+        names = shard_names(self.llc_shards)
+        self.home_map = HomeMap(names, self.shard_interleave)
+        sharded = len(names) > 1
+        self.llcs = []
+        for shard_name in names:
+            shard = SpandexLLC(self.engine, self.network, self.stats,
+                               self.dram,
+                               size_bytes=shard_size(llc_size,
+                                                     len(names), 16),
+                               access_latency=3, name=shard_name)
+            if sharded:
+                shard.home_map = self.home_map
+                if self.shard_interleave == "line":
+                    shard.bank_stride = len(names)
+            self.llcs.append(shard)
+        self.llc = self.llcs[0]
         for i in range(2):
             name = f"c{i}"
             if config.cpu_protocol == "MESI":
                 l1 = MESIL1(self.engine, name, self.network, self.stats,
-                            home="llc", dialect="spandex",
+                            home=names[0], dialect="spandex",
                             size_bytes=l1_size, assoc=l1_assoc,
                             coalesce_delay=coalesce_delay,
                             register_on_network=False)
             else:
                 l1 = DeNovoL1(self.engine, name, self.network, self.stats,
-                              home="llc",
+                              home=names[0],
                               atomic_policy=config.cpu_atomic_policy,
                               size_bytes=l1_size, assoc=l1_assoc,
                               coalesce_delay=coalesce_delay,
                               nack_retry_limit=0,
                               register_on_network=False)
+            l1.home_map = self.home_map
             self.tus[name] = make_tu(self.engine, self.network,
                                      self.stats, l1)
-            self.llc.device_protocols[name] = l1.PROTOCOL_FAMILY
+            for shard in self.llcs:
+                shard.device_protocols[name] = l1.PROTOCOL_FAMILY
             self.cpu_l1s.append(l1)
         for i in range(2):
             name = f"g{i}"
             if config.gpu_protocol == "GPU":
                 l1 = GPUCoherenceL1(self.engine, name, self.network,
-                                    self.stats, home="llc",
+                                    self.stats, home=names[0],
                                     size_bytes=l1_size, assoc=l1_assoc,
                                     coalesce_delay=coalesce_delay,
                                     register_on_network=False)
             else:
                 l1 = DeNovoL1(self.engine, name, self.network, self.stats,
-                              home="llc", size_bytes=l1_size, assoc=l1_assoc,
+                              home=names[0], size_bytes=l1_size,
+                              assoc=l1_assoc,
                               coalesce_delay=coalesce_delay,
                               nack_retry_limit=0,
                               register_on_network=False)
+            l1.home_map = self.home_map
             self.tus[name] = make_tu(self.engine, self.network,
                                      self.stats, l1)
-            self.llc.device_protocols[name] = l1.PROTOCOL_FAMILY
+            for shard in self.llcs:
+                shard.device_protocols[name] = l1.PROTOCOL_FAMILY
             self.gpu_l1s.append(l1)
 
     def _build_hierarchical(self, config, l1_size, l1_assoc, llc_size,
@@ -128,6 +153,7 @@ class VerifySystem:
                                    self.dram, size_bytes=llc_size,
                                    access_latency=3)
         self.llc = self.l3
+        self.llcs = [self.l3]
         self.gpu_l2 = GPUL2(self.engine, "gpu_l2", self.network,
                             self.stats, size_bytes=llc_size // 2,
                             access_latency=2, l3_name="l3")
@@ -161,8 +187,9 @@ class VerifySystem:
         homes = []
         if self.gpu_l2 is not None:
             homes.append(self.gpu_l2)
-        if hasattr(self.llc, "_owned_mask"):
-            homes.append(self.llc)
+        for shard in self.llcs:
+            if hasattr(shard, "_owned_mask"):
+                homes.append(shard)
         return homes
 
     def read_coherent(self, addr: int) -> int:
@@ -179,7 +206,7 @@ class VerifySystem:
             elif isinstance(l1, MESIL1):
                 if resident.state in (MesiState.M, MesiState.E):
                     return resident.data[index]
-        for home in (self.gpu_l2, self.llc):
+        for home in [self.gpu_l2] + list(self.llcs):
             if home is None:
                 continue
             resident = home.array.lookup(line, touch=False)

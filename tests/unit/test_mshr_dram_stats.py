@@ -109,6 +109,7 @@ def test_network_delivery_and_latency():
     network = Network(engine, stats, model)
     sink = Sink("b", engine)
     network.register(sink)
+    network.register(Sink("a", engine))
     network.send(Message(MsgKind.REQ_V, 0x100, 1, "a", "b"))
     engine.run()
     assert len(sink.received) == 1
@@ -120,6 +121,7 @@ def test_network_fifo_per_pair():
     network = Network(engine, StatsRegistry(), LatencyModel(default=5))
     sink = Sink("b", engine)
     network.register(sink)
+    network.register(Sink("a", engine))
     for value in range(5):
         network.send(Message(MsgKind.REQ_WT, 0x100, 1, "a", "b",
                              data={0: value}))
@@ -134,6 +136,7 @@ def test_network_traffic_accounting():
     network = Network(engine, stats, LatencyModel(default=5))
     sink = Sink("b", engine)
     network.register(sink)
+    network.register(Sink("a", engine))
     msg = Message(MsgKind.RVK_O, 0x100, 1, "a", "b")
     network.send(msg)
     engine.run()
@@ -162,6 +165,7 @@ def test_network_bandwidth_serialization():
                       link_bytes_per_cycle=16)
     sink = Sink("b", engine)
     network.register(sink)
+    network.register(Sink("a", engine))
     data = {i: 1 for i in range(16)}
     for _ in range(3):
         network.send(Message(MsgKind.RSP_V, 0, 0xFFFF, "a", "b",

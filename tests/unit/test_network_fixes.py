@@ -1,0 +1,95 @@
+"""Regression pins for the network-layer latent bugs fixed alongside
+sharding: the per-link latency cache going stale after ``set_pair`` /
+``set_default`` (the first send on a pair froze its latency forever),
+and ``Network.send`` validating ``msg.dst`` but happily transmitting
+from an unregistered ``msg.src``.
+"""
+
+import pytest
+
+from repro.coherence.messages import Message, MsgKind
+from repro.network.noc import LatencyModel, Network
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.stats import StatsRegistry
+
+
+class Sink:
+    def __init__(self, name, engine):
+        self.name = name
+        self.engine = engine
+        self.received = []
+
+    def receive(self, msg):
+        self.received.append((self.engine.now, msg))
+
+
+def _rig(default=10):
+    engine = Engine()
+    model = LatencyModel(default=default)
+    network = Network(engine, StatsRegistry(), model)
+    sink = Sink("b", engine)
+    network.register(Sink("a", engine))
+    network.register(sink)
+    return engine, model, network, sink
+
+
+def _flight_time(engine, network, sink):
+    """Send one fixed-size message a->b and return its flight time."""
+    departed = engine.now
+    network.send(Message(MsgKind.REQ_V, 0x100, 1, "a", "b"))
+    engine.run()
+    arrived = sink.received[-1][0]
+    return arrived - departed
+
+
+# -- stale link-latency cache -------------------------------------------------
+@pytest.mark.tier1
+def test_set_pair_applies_to_already_used_link():
+    # The a->b link caches its latency at first send; a later set_pair
+    # used to be silently ignored for that pair.  Identical messages, so
+    # any flight-time change is exactly the latency change.
+    engine, model, network, sink = _rig(default=10)
+    before = _flight_time(engine, network, sink)
+    model.set_pair("a", "b", 3)
+    after = _flight_time(engine, network, sink)
+    assert before - after == 10 - 3
+
+
+@pytest.mark.tier1
+def test_set_default_applies_to_already_used_link():
+    engine, model, network, sink = _rig(default=10)
+    before = _flight_time(engine, network, sink)
+    model.set_default(25)
+    after = _flight_time(engine, network, sink)
+    assert after - before == 25 - 10
+
+
+@pytest.mark.tier1
+def test_latency_model_version_bumps_on_every_mutation():
+    model = LatencyModel(default=5)
+    v0 = model.version
+    model.set_pair("a", "b", 3)
+    model.set_default(7)
+    model.set_pair("a", "b", 3, symmetric=False)
+    assert model.version == v0 + 3
+
+
+# -- source validation --------------------------------------------------------
+@pytest.mark.tier1
+def test_send_rejects_unregistered_source():
+    engine = Engine()
+    network = Network(engine, StatsRegistry())
+    network.register(Sink("b", engine))
+    with pytest.raises(SimulationError, match="unknown source"):
+        network.send(Message(MsgKind.REQ_V, 0x100, 1, "ghost", "b"))
+
+
+@pytest.mark.tier1
+def test_controlled_network_rejects_unregistered_source():
+    from repro.verify.explorer import ControlledNetwork
+
+    engine = Engine()
+    network = ControlledNetwork(engine, StatsRegistry())
+    network.register(Sink("b", engine))
+    with pytest.raises(SimulationError, match="unknown source"):
+        network.send(Message(MsgKind.REQ_V, 0x100, 1, "ghost", "b"))

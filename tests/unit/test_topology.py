@@ -1,0 +1,133 @@
+"""Unit tests for the composable fabric topology builders
+(``repro.network.topology``): pair-latency derivation for each kind,
+determinism, and the install path through ``LatencyModel``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.network.noc import LatencyModel
+from repro.network.topology import (Attachment, TopoEndpoint, Topology,
+                                    build_topology)
+from repro.system.config import CONFIGS
+
+BASE = CONFIGS["SMG"]
+
+ENDPOINTS = [
+    TopoEndpoint("cpu0", "cpu"),
+    TopoEndpoint("cpu1", "cpu"),
+    TopoEndpoint("gpu0", "gpu"),
+    TopoEndpoint("gpu1", "gpu"),
+    TopoEndpoint("llc0", "home"),
+    TopoEndpoint("llc1", "home"),
+]
+
+ATTACHMENTS = [
+    Attachment("cpu0", "llc0", BASE.net_cpu_llc),
+    Attachment("cpu0", "llc1", BASE.net_cpu_llc),
+    Attachment("cpu1", "llc0", BASE.net_cpu_llc),
+    Attachment("cpu1", "llc1", BASE.net_cpu_llc),
+    Attachment("gpu0", "llc0", BASE.net_gpu_llc),
+    Attachment("gpu0", "llc1", BASE.net_gpu_llc),
+    Attachment("gpu1", "llc0", BASE.net_gpu_llc),
+    Attachment("gpu1", "llc1", BASE.net_gpu_llc),
+]
+
+
+def _build(**overrides):
+    config = replace(BASE, **overrides)
+    return build_topology(config, ENDPOINTS, ATTACHMENTS)
+
+
+# -- p2p: the historical star -------------------------------------------------
+@pytest.mark.tier1
+def test_p2p_is_exactly_the_attachment_star():
+    topo = _build(topology="p2p")
+    assert topo.latency("cpu0", "llc0") == BASE.net_cpu_llc
+    assert topo.latency("llc0", "cpu0") == BASE.net_cpu_llc
+    assert topo.latency("gpu1", "llc1") == BASE.net_gpu_llc
+    # non-attached pairs are absent: they fall back to the default
+    assert ("cpu0", "cpu1") not in topo.pairs
+    assert len(topo.pairs) == 2 * len(ATTACHMENTS)
+
+
+# -- mesh ---------------------------------------------------------------------
+@pytest.mark.tier1
+def test_mesh_latency_is_manhattan_hops():
+    topo = _build(topology="mesh", mesh_hop_latency=4)
+    # homes are placed first on the row-major grid (width 3 for six
+    # endpoints): llc0 (0,0), llc1 (1,0), cpu0 (2,0), cpu1 (0,1), ...
+    assert topo.latency("llc0", "llc1") == 4          # one hop
+    assert topo.latency("llc0", "cpu0") == 8          # two hops
+    assert topo.latency("llc0", "cpu1") == 4          # one hop down
+    # symmetric by construction, every ordered pair present
+    assert topo.latency("cpu0", "llc0") == topo.latency("llc0", "cpu0")
+    assert len(topo.pairs) == len(ENDPOINTS) * (len(ENDPOINTS) - 1)
+
+
+# -- switch -------------------------------------------------------------------
+@pytest.mark.tier1
+def test_switch_routes_through_central_hop():
+    topo = _build(topology="switch", switch_latency=6)
+    cpu_leg = max(1, BASE.net_cpu_llc // 2)
+    gpu_leg = max(1, BASE.net_gpu_llc // 2)
+    home_leg = max(1, BASE.net_default // 2)
+    assert topo.latency("cpu0", "llc0") == cpu_leg + 6 + home_leg
+    assert topo.latency("gpu0", "llc1") == gpu_leg + 6 + home_leg
+    assert topo.latency("cpu0", "gpu0") == cpu_leg + 6 + gpu_leg
+
+
+# -- multi_socket -------------------------------------------------------------
+@pytest.mark.tier1
+def test_multi_socket_penalties_are_asymmetric():
+    topo = _build(topology="multi_socket", num_sockets=2,
+                  cross_socket_latency=40, cross_socket_return_latency=60)
+    # homes round-robin (llc0 -> socket 0, llc1 -> socket 1); devices
+    # block-partition (cpu0/gpu0 -> socket 0, cpu1/gpu1 -> socket 1)
+    assert topo.sockets["llc0"] == 0 and topo.sockets["llc1"] == 1
+    assert topo.sockets["cpu0"] == 0 and topo.sockets["cpu1"] == 1
+    # intra-socket keeps the attachment latency
+    assert topo.latency("cpu0", "llc0") == BASE.net_cpu_llc
+    # crossing up adds the request penalty, crossing back the return one
+    assert topo.latency("cpu0", "llc1") == BASE.net_cpu_llc + 40
+    assert topo.latency("llc1", "cpu0") == BASE.net_cpu_llc + 60
+
+
+@pytest.mark.tier1
+def test_multi_socket_single_socket_degenerates_to_star():
+    topo = _build(topology="multi_socket", num_sockets=1)
+    assert topo.latency("cpu0", "llc1") == BASE.net_cpu_llc
+    assert topo.latency("llc1", "cpu0") == BASE.net_cpu_llc
+
+
+# -- shared behaviour ---------------------------------------------------------
+@pytest.mark.tier1
+def test_unknown_topology_rejected():
+    with pytest.raises(ValueError, match="unknown topology"):
+        _build(topology="torus")
+
+
+@pytest.mark.tier1
+def test_builders_are_deterministic():
+    for kind in ("p2p", "mesh", "switch", "multi_socket"):
+        assert _build(topology=kind).pairs == _build(topology=kind).pairs
+
+
+@pytest.mark.tier1
+def test_install_writes_pairs_and_bumps_version():
+    topo = Topology("p2p", {("a", "b"): 3, ("b", "a"): 5})
+    model = LatencyModel(default=12)
+    before = model.version
+    topo.install(model)
+    assert model.latency("a", "b") == 3
+    assert model.latency("b", "a") == 5     # asymmetric pairs survive
+    assert model.latency("a", "z") == 12
+    assert model.version > before
+
+
+@pytest.mark.tier1
+def test_describe_mentions_kind_and_sockets():
+    topo = _build(topology="multi_socket", num_sockets=2)
+    assert "multi_socket" in topo.describe()
+    assert "2 sockets" in topo.describe()
