@@ -202,6 +202,28 @@ class InvariantChecker:
                 parts.append("no messages in flight for the line")
         return " | ".join(parts)
 
+    def _transport_recovering(self, line: int) -> bool:
+        """Whether the reliable-transport sublayer still holds
+        undelivered carriers for ``line`` — unacked messages waiting
+        out a retransmit timer, or arrivals parked in a receiver
+        reorder buffer behind a lost predecessor.
+
+        A mismatch whose carrier was dropped by an unreliable fabric
+        is *recovering*, not stuck: recovery latency (rto with capped
+        exponential backoff) legitimately exceeds the audit period, so
+        escalation defers to the transport's own dead-link deadline and
+        the liveness watchdog.  On a plain :class:`Network` (no
+        transport) this is always False and escalation is immediate.
+        """
+        network = getattr(self.system, "network", None)
+        unacked = getattr(network, "unacked_messages", None)
+        if unacked is None:
+            return False
+        if any(msg.line == line for msg in unacked()):
+            return True
+        return any(msg.line == line
+                   for msg in network.buffered_messages())
+
     def _check_home_ownership(self, final: bool = False) -> None:
         holders = self._writable_holders()
         fresh_mismatches: Dict[Tuple[int, int], MismatchRecord] = {}
@@ -229,16 +251,24 @@ class InvariantChecker:
                         previous = self._pending_mismatches.get(key)
                         if previous is not None and \
                                 previous.detail == detail:
-                            self._raise(
-                                detail + " (persisted across audits; "
-                                "ownership transfer stuck: "
-                                + self._transfer_trail(key, previous,
-                                                       caches) + ")")
-                        fresh_mismatches[key] = MismatchRecord(
-                            detail=detail, owner=owner,
-                            holders=list(caches),
-                            first_cycle=self.system.engine.now,
-                            first_audit=self.audits)
+                            if not self._transport_recovering(
+                                    resident.line):
+                                self._raise(
+                                    detail + " (persisted across audits;"
+                                    " ownership transfer stuck: "
+                                    + self._transfer_trail(key, previous,
+                                                           caches) + ")")
+                            # carrier lost on an unreliable wire and
+                            # still being recovered by the transport:
+                            # keep the record (first_cycle intact) and
+                            # re-check next audit
+                            fresh_mismatches[key] = previous
+                        else:
+                            fresh_mismatches[key] = MismatchRecord(
+                                detail=detail, owner=owner,
+                                holders=list(caches),
+                                first_cycle=self.system.engine.now,
+                                first_audit=self.audits)
                 if owned_any and resident.state == HomeState.S:
                     self._raise(
                         f"{home.name}: line 0x{resident.line:x} has "

@@ -5,8 +5,10 @@ queue, message fast path — see ``repro.sim.engine``); this module pins
 the win so it cannot silently regress.  Two kinds of measurement:
 
 * **end-to-end sweeps** — events/second over real systems: the figure-2
-  microbenchmark sweep across all six Table V configurations, and a
-  churn-heavy fault-injection case (message jitter + forced Nacks).
+  microbenchmark sweep across all six Table V configurations, a
+  churn-heavy fault-injection case (message jitter + forced Nacks),
+  and an unreliable-fabric case (drop/dup/reorder recovery through
+  the reliable-delivery sublayer).
   Wall-clock throughput is machine-dependent, so comparisons against
   the stored baseline (``results/BENCH_kernel.json``) use a tolerance
   and are enforced only when the caller opts in
@@ -92,9 +94,26 @@ def _run_fault_churn() -> int:
     return events
 
 
+def _run_unreliable_churn() -> int:
+    """Lossy-fabric runs: drop/dup/reorder recovery through the
+    reliable-delivery sublayer (acks, retransmit timers, reorder
+    buffering) — the heaviest scheduler churn the fabric can produce."""
+    events = 0
+    for cname in FAULT_CONFIGS:
+        workload = MICROBENCHMARKS["ReuseS"](**BENCH_SCALE)
+        system = build_system(scaled_config(
+            cname, BENCH_SCALE["num_cpus"], BENCH_SCALE["num_gpus"],
+            faults=FaultConfig.unreliable_stress(FAULT_SEED)))
+        system.load_workload(workload)
+        system.run(max_events=60_000_000)
+        events += system.engine.events_executed
+    return events
+
+
 CASES: Dict[str, Callable[[], int]] = {
     "figure2_sweep": _run_figure2_sweep,
     "fault_churn": _run_fault_churn,
+    "unreliable_churn": _run_unreliable_churn,
 }
 
 

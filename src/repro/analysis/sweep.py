@@ -44,7 +44,7 @@ from typing import (Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Tuple)
 
 from ..sim.stats import StatsRegistry
-from ..system.config import scaled_config
+from ..system.config import FaultConfig, parse_link_down, scaled_config
 from ..workloads import APPLICATIONS, MICROBENCHMARKS
 from .report import ConfigResult, WorkloadResult
 
@@ -69,6 +69,32 @@ class SweepError(RuntimeError):
 CONFIG_KWARGS = ("llc_shards", "shard_interleave", "topology",
                  "num_sockets", "mesh_hop_latency", "switch_latency",
                  "cross_socket_latency", "cross_socket_return_latency")
+
+#: CellSpec.kwargs keys that configure unreliable-fabric fault
+#: injection (sweep axes ``--loss``/``--dup``/``--reorder-*``/
+#: ``--link-down``); like CONFIG_KWARGS they flow into
+#: ``system_config()`` and are stripped from the generator's kwargs.
+#: ``link_down`` rides as raw ``START:LENGTH[:SRC[:DST]]`` spec strings
+#: so the spec stays hashable and JSON-canonical.
+FAULT_KWARGS = ("loss", "dup", "reorder_prob", "reorder_window",
+                "link_down", "fault_seed")
+
+
+def _fault_overrides(kwargs: Mapping[str, object]):
+    """Build the cell's FaultConfig from FAULT_KWARGS, or ``None``."""
+    if not any(key in kwargs for key in FAULT_KWARGS):
+        return None
+    window = int(kwargs.get("reorder_window", 0))
+    prob = float(kwargs.get("reorder_prob", 0.0))
+    if prob > 0 and window <= 0:
+        window = 64
+    return FaultConfig(
+        seed=int(kwargs.get("fault_seed", 0)),
+        drop_prob=float(kwargs.get("loss", 0.0)),
+        dup_prob=float(kwargs.get("dup", 0.0)),
+        reorder_prob=prob, reorder_window=window,
+        link_down=tuple(parse_link_down(str(spec))
+                        for spec in kwargs.get("link_down", ())))
 
 
 # ---------------------------------------------------------------------------
@@ -111,9 +137,9 @@ class CellSpec:
 
     def workload_kwargs(self) -> Dict[str, object]:
         """The kwargs the workload generator accepts (system-config
-        overrides like ``llc_shards`` are stripped)."""
+        overrides like ``llc_shards`` and fault axes are stripped)."""
         return {key: value for key, value in self.kwargs
-                if key not in CONFIG_KWARGS}
+                if key not in CONFIG_KWARGS and key not in FAULT_KWARGS}
 
     def resolve_generator(self) -> Callable:
         if self.generator_ref is not None:
@@ -133,6 +159,9 @@ class CellSpec:
         kwargs = self.kwargs_dict()
         overrides = {key: kwargs[key] for key in CONFIG_KWARGS
                      if key in kwargs}
+        faults = _fault_overrides(kwargs)
+        if faults is not None:
+            overrides["faults"] = faults
         return scaled_config(self.config,
                              int(kwargs.get("num_cpus", 4)),
                              int(kwargs.get("num_gpus", 4)),

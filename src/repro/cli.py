@@ -39,7 +39,8 @@ from .obs import (format_timeline, load_chrome_trace,
                   validate_chrome_trace, write_chrome_trace)
 from .sim.engine import SimulationError
 from .system import (CONFIG_ORDER, CONFIGS, FaultConfig, TraceConfig,
-                     WatchdogConfig, build_system, scaled_config)
+                     WatchdogConfig, build_system, parse_link_down,
+                     scaled_config)
 from .verify import (CORPUS, CoverageRecorder, DfsExplorer,
                      RandomWalkExplorer, coverage_report, format_coverage,
                      replay_schedule, scenario_by_name, shrink_failure)
@@ -80,6 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="enable deterministic fault injection "
                           "(delay jitter, burst congestion, forced "
                           "Nacks) with this seed")
+    _add_fault_options(run)
     run.add_argument("--watchdog-cycles", type=int, default=None,
                      metavar="N",
                      help="flag any request stalled beyond N cycles "
@@ -144,6 +146,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--gpus", type=int, default=4)
     sweep.add_argument("--warps", type=int, default=2)
     _add_fabric_options(sweep)
+    sweep.add_argument("--fault-seed", type=int, default=None,
+                       metavar="SEED",
+                       help="fault-injection seed for the unreliable-"
+                            "fabric axes below (default: 0 when any "
+                            "is set)")
+    _add_fault_options(sweep)
     sweep.add_argument("--json", action="store_true",
                        help="emit the full sweep summary as JSON")
     sweep.add_argument("--clear-cache", action="store_true",
@@ -267,6 +275,76 @@ def _add_fabric_options(parser: argparse.ArgumentParser) -> None:
                         help="socket count for --topology multi_socket")
 
 
+def _add_fault_options(parser: argparse.ArgumentParser) -> None:
+    """Unreliable-fabric axes: message loss, duplication, reordering
+    and scheduled link outages (all consume the reliable-delivery
+    sublayer; see ROBUSTNESS.md)."""
+    parser.add_argument("--loss", type=float, default=0.0, metavar="P",
+                        help="per-message drop probability in [0,1); "
+                             "lost messages are recovered by the "
+                             "reliable-transport sublayer")
+    parser.add_argument("--dup", type=float, default=0.0, metavar="P",
+                        help="per-message duplication probability; "
+                             "duplicates are suppressed receiver-side")
+    parser.add_argument("--reorder-prob", type=float, default=0.0,
+                        metavar="P",
+                        help="probability a message is skewed past "
+                             "later traffic on the same link")
+    parser.add_argument("--reorder-window", type=int, default=0,
+                        metavar="N",
+                        help="max extra cycles a reordered message is "
+                             "skewed by (default: 64 when "
+                             "--reorder-prob is set)")
+    parser.add_argument("--link-down", action="append", default=[],
+                        metavar="SPEC",
+                        help="scheduled link outage START:LENGTH"
+                             "[:SRC[:DST]] (glob endpoint patterns; "
+                             "repeatable)")
+
+
+def _unreliable_requested(args) -> bool:
+    return bool(args.loss or args.dup or args.reorder_prob
+                or args.link_down)
+
+
+def _fault_config(args) -> Optional[FaultConfig]:
+    """The run's FaultConfig: ``--faults`` stress timing faults plus
+    any unreliable-fabric axes, or ``None`` when nothing is enabled."""
+    if args.faults is None and not _unreliable_requested(args):
+        return None
+    base = (FaultConfig.stress(args.faults) if args.faults is not None
+            else FaultConfig(seed=0))
+    if not _unreliable_requested(args):
+        return base
+    window = args.reorder_window
+    if args.reorder_prob > 0 and window <= 0:
+        window = 64
+    return dataclasses.replace(
+        base, drop_prob=args.loss, dup_prob=args.dup,
+        reorder_prob=args.reorder_prob, reorder_window=window,
+        link_down=tuple(parse_link_down(spec)
+                        for spec in args.link_down))
+
+
+def _fault_kwargs(args) -> dict:
+    """Unreliable-fabric settings as hashable CellSpec kwargs
+    (``link_down`` rides as raw spec strings; workers re-parse)."""
+    kwargs = {}
+    if args.loss:
+        kwargs["loss"] = args.loss
+    if args.dup:
+        kwargs["dup"] = args.dup
+    if args.reorder_prob:
+        kwargs["reorder_prob"] = args.reorder_prob
+    if args.reorder_window:
+        kwargs["reorder_window"] = args.reorder_window
+    if args.link_down:
+        kwargs["link_down"] = tuple(args.link_down)
+    if kwargs and getattr(args, "fault_seed", None) is not None:
+        kwargs["fault_seed"] = args.fault_seed
+    return kwargs
+
+
 def _fabric_overrides(args) -> dict:
     """Non-default fabric settings as SystemConfig override kwargs."""
     overrides = {}
@@ -331,11 +409,17 @@ def _cmd_run(args) -> int:
     tracing = (args.trace or bool(args.trace_filter) or args.trace_out
                or args.timeline is not None or args.metrics_interval > 0)
 
+    try:
+        faults = _fault_config(args)
+    except ValueError as exc:
+        print(f"bad fault option: {exc}", file=sys.stderr)
+        return 2
+
     def system_config(config_name: str):
         config = scaled_config(config_name, args.cpus, args.gpus)
         replacements = _fabric_overrides(args)
-        if args.faults is not None:
-            replacements["faults"] = FaultConfig.stress(args.faults)
+        if faults is not None:
+            replacements["faults"] = faults
         if args.watchdog_cycles is not None:
             replacements["watchdog"] = WatchdogConfig(
                 stall_cycles=args.watchdog_cycles)
@@ -355,6 +439,12 @@ def _cmd_run(args) -> int:
           f"({args.cpus} CPUs, {args.gpus} CUs x {args.warps} warps)")
     if args.faults is not None:
         print(f"fault injection enabled (seed {args.faults})")
+    if faults is not None and faults.unreliable:
+        print(f"unreliable fabric: loss={faults.drop_prob} "
+              f"dup={faults.dup_prob} reorder={faults.reorder_prob}"
+              f"/{faults.reorder_window} "
+              f"link_down={len(faults.link_down)} window(s) "
+              f"(reliable transport armed)")
     failures = 0
     trace_sections = []
     for config_name in configs:
@@ -406,6 +496,16 @@ def _cmd_run(args) -> int:
             line += (f"  faults: {delayed:.0f} delayed, "
                      f"{system.stats.get('llc.forced_nacks'):.0f} Nacked,"
                      f" {system.stats.get('tu.nack_retries'):.0f} retried")
+        if faults is not None and faults.unreliable:
+            dropped = (system.stats.get("faults.dropped")
+                       + system.stats.get("faults.link_down_dropped")
+                       + system.stats.get("faults.partition_dropped"))
+            line += (f"  fabric: {dropped:.0f} dropped, "
+                     f"{system.stats.get('faults.duplicated'):.0f} duped,"
+                     f" {system.stats.get('transport.retransmits'):.0f} "
+                     f"retx, "
+                     f"{system.stats.get('transport.dup_dropped'):.0f} "
+                     f"deduped")
         print(line)
         if args.traffic:
             for cls, nbytes in sorted(
@@ -498,10 +598,19 @@ def _cmd_sweep(args) -> int:
         print(f"unknown config(s): {', '.join(bad)} "
               f"(try: {', '.join(CONFIG_ORDER)})", file=sys.stderr)
         return 2
+    from .analysis.sweep import _fault_overrides
+
+    fault_kwargs = _fault_kwargs(args)
+    try:
+        _fault_overrides(fault_kwargs)      # validate before the pool
+    except ValueError as exc:
+        print(f"bad fault option: {exc}", file=sys.stderr)
+        return 2
     specs = grid_specs(names, configs,
                        dict(num_cpus=args.cpus, num_gpus=args.gpus,
                             warps_per_cu=args.warps,
-                            **_fabric_overrides(args)))
+                            **_fabric_overrides(args),
+                            **fault_kwargs))
     summary = run_sweep(specs, jobs=args.jobs, cache=_sweep_cache(args),
                         validate_memory=not args.no_check,
                         cell_timeout=args.cell_timeout,

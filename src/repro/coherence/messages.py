@@ -73,6 +73,9 @@ class MsgKind(enum.Enum):
     MESI_INV = "MESIInv"
     MESI_INV_ACK = "MESIInvAck"
 
+    # -- reliable-transport sublayer (repro.network.reliable) --
+    REL_ACK = "RelAck"
+
 
 #: Requests a Spandex device may issue (order matches Table II rows).
 DEVICE_REQUESTS = (
@@ -111,6 +114,7 @@ TRAFFIC_CLASS = {
     MsgKind.PUT_M: "ReqWB", MsgKind.WB_ACK: "ReqWB",
     MsgKind.FWD_GET_S: "Probe", MsgKind.FWD_GET_M: "Probe",
     MsgKind.MESI_INV: "Probe", MsgKind.MESI_INV_ACK: "Probe",
+    MsgKind.REL_ACK: "Transport",
 }
 
 #: Message sizing in bytes: a control header plus any data payload.
@@ -230,3 +234,19 @@ class Message:
         return (f"<{self.kind.value} line=0x{self.line:x} mask=0x{self.mask:04x} "
                 f"{self.src}->{self.dst} id={self.req_id} {gran}"
                 f"{' +data' if self.data else ''}>")
+
+
+def clone(msg: Message) -> Message:
+    """An independent copy for retransmission / wire duplication.
+
+    Receivers mutate delivered messages in place, so anything that may
+    be delivered twice (a retransmit, a dup fault) must be a fresh
+    object.  ``data`` and ``meta`` are shallow-copied: protocols store
+    only scalars there (word values, txn ids), and ``atomic`` is shared
+    deliberately — ``AtomicOp.uid`` identity is what dedupe keys on.
+    """
+    return Message(msg.kind, msg.line, msg.mask, msg.src, msg.dst,
+                   req_id=msg.req_id, requestor=msg.requestor,
+                   data=dict(msg.data), atomic=msg.atomic,
+                   is_line_granularity=msg.is_line_granularity,
+                   meta=dict(msg.meta))

@@ -173,6 +173,12 @@ def collect_diagnostic(system, reason: str,
         diag["network"] = [
             {"delivery": time, "msg": repr(msg)}
             for time, msg in network.in_flight()]
+    if network is not None and hasattr(network, "links_snapshot"):
+        # per-link fabric state: deadlock diagnosis usually implicates
+        # the fabric, which older dumps said nothing about
+        diag["fabric"] = network.links_snapshot()
+    if network is not None and hasattr(network, "transport_snapshot"):
+        diag["transport"] = network.transport_snapshot()
     implicated = _implicated_lines(system, stalled)
     lines: Dict[str, Dict[str, object]] = {}
     for line in implicated:
@@ -244,6 +250,37 @@ def format_diagnostic(diag: Dict[str, object]) -> str:
         lines.append(f"  in-flight messages ({len(network)}):")
         for entry in network[:32]:
             lines.append(f"    t={entry['delivery']} {entry['msg']}")
+    fabric = diag.get("fabric", [])
+    busy_links = [row for row in fabric
+                  if row["in_flight"] or row["oldest_age"]]
+    if busy_links:
+        busy_links.sort(key=lambda row: (-row["oldest_age"],
+                                         -row["in_flight"]))
+        lines.append(f"  fabric links with traffic in flight "
+                     f"({len(busy_links)} of {len(fabric)}):")
+        for row in busy_links[:16]:
+            lines.append(
+                f"    {row['src']}->{row['dst']}: "
+                f"in_flight={row['in_flight']} "
+                f"oldest_age={row['oldest_age']} free={row['free']} "
+                f"last_delivery={row['last_delivery']} "
+                f"latency={row['latency']}")
+    transport = diag.get("transport")
+    if transport:
+        pending = [row for row in transport.get("send", [])
+                   if row["unacked"]]
+        for row in pending:
+            lines.append(
+                f"  transport {row['src']}->{row['dst']}: "
+                f"unacked={row['unacked']} "
+                f"oldest_age={row['oldest_age']} rto={row['rto']} "
+                f"next_seq={row['next_seq']}")
+        buffered = [row for row in transport.get("recv", [])
+                    if row["buffered"]]
+        for row in buffered:
+            lines.append(
+                f"  transport {row['src']}->{row['dst']} (recv): "
+                f"expect={row['expect']} buffered={row['buffered']}")
     for line, cross in diag.get("lines", {}).items():
         lines.append(f"  line {line}:")
         for holder, view in cross.items():

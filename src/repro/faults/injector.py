@@ -1,28 +1,41 @@
 """Deterministic seeded fault injector.
 
-The injector perturbs *timing only*: extra per-message delay jitter,
-periodic burst congestion windows, and forced Nacks for ReqV at a
-Spandex home.  All perturbations are legal protocol behaviors (a slow
-link, a congested switch, an owner that departed before a forwarded
-request arrived), so a correct protocol must produce byte-identical
-final memory under any seed — only cycle counts may move.
+Two fault families (full taxonomy in ROBUSTNESS.md):
+
+* **Timing faults** perturb *when* messages arrive: extra per-message
+  delay jitter, periodic burst congestion windows, and forced Nacks for
+  ReqV at a Spandex home.  All are legal protocol behaviors (a slow
+  link, a congested switch, an owner that departed before a forwarded
+  request arrived), so the raw protocols absorb them unaided.
+
+* **Delivery faults** break the fabric's delivery contract: per-link
+  message drop, duplication, cross-message reordering past the FIFO
+  clamp, scheduled link-down windows, and full socket partitions.  The
+  :class:`repro.network.reliable.ReliableNetwork` sublayer must
+  re-establish exactly-once FIFO delivery above them.
+
+Either way a correct system produces byte-identical final memory under
+any seed — only cycle counts may move.
 
 Determinism: draws come from private :class:`random.Random` streams
 (one per fault kind, so network and home consultations never interleave
 draws), and the discrete-event engine orders consultations identically
-given the same seed and configuration.  Burst windows are a pure
-function of the cycle counter and need no randomness at all.
+given the same seed and configuration.  Burst / link-down / partition
+windows are pure functions of the cycle counter and need no randomness
+at all.
 
 FIFO preservation: extra delay is folded into the link latency *before*
 :class:`~repro.network.noc.Network` applies its per-link monotonic
 delivery clamp, so point-to-point FIFO ordering — a correctness
-assumption of every controller — survives any jitter.
+assumption of every controller — survives any jitter.  Reorder skew is
+deliberately applied *after* the clamp: breaking FIFO is the fault.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional, TYPE_CHECKING
+from fnmatch import fnmatchcase
+from typing import Dict, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..coherence.messages import Message
@@ -31,7 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class FaultInjector:
-    """Seeded timing-fault source consulted by the network and homes."""
+    """Seeded fault source consulted by the network and homes."""
 
     def __init__(self, config: "FaultConfig",
                  stats: Optional["StatsRegistry"] = None):
@@ -40,9 +53,20 @@ class FaultInjector:
         # Independent streams per fault kind: the network and the home
         # consult the injector in interleaved but deterministic order,
         # and separate streams keep each kind's sequence stable even if
-        # another kind is reconfigured.
+        # another kind is reconfigured.  Constructing a Random draws
+        # nothing, so adding streams never shifts existing sequences.
         self._delay_rng = random.Random(config.seed)
         self._nack_rng = random.Random(config.seed ^ 0x5DEECE66D)
+        self._drop_rng = random.Random(config.seed ^ 0x9E3779B9)
+        self._dup_rng = random.Random(config.seed ^ 0x7F4A7C15)
+        self._reorder_rng = random.Random(config.seed ^ 0x2545F491)
+        #: cached so Network.send pays one attribute test, not a chain
+        self.unreliable = config.unreliable
+        #: endpoint name -> socket index; installed by the builder from
+        #: ``Topology.sockets`` (empty on single-socket fabrics, so
+        #: partitions silently never match — matching the hardware:
+        #: you cannot partition a fabric with one socket)
+        self.sockets: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def _class_matches(self, msg: "Message") -> bool:
@@ -86,3 +110,60 @@ class FaultInjector:
         if hit and self.stats is not None:
             self.stats.incr("faults.forced_nacks")
         return hit
+
+    # -- delivery faults (ReliableNetwork territory) -------------------
+    def drop_reason(self, msg: "Message", now: int) -> Optional[str]:
+        """Why the wire eats this send, or None to let it through.
+
+        Deterministic window checks run before the probabilistic draw,
+        so scheduled outages never consume RNG state: rewiring a
+        link-down window leaves the drop stream untouched.
+        """
+        config = self.config
+        for window in config.link_down:
+            if window.start <= now < window.start + window.length \
+                    and fnmatchcase(msg.src, window.src) \
+                    and fnmatchcase(msg.dst, window.dst):
+                if self.stats is not None:
+                    self.stats.incr("faults.link_down_dropped")
+                    self.stats.incr("faults.dropped")
+                return "link_down"
+        if config.partitions and self.sockets:
+            src_socket = self.sockets.get(msg.src)
+            dst_socket = self.sockets.get(msg.dst)
+            if src_socket is not None and dst_socket is not None \
+                    and src_socket != dst_socket:
+                for window in config.partitions:
+                    if window.start <= now < window.start + window.length \
+                            and window.socket in (src_socket, dst_socket):
+                        if self.stats is not None:
+                            self.stats.incr("faults.partition_dropped")
+                            self.stats.incr("faults.dropped")
+                        return "partition"
+        if config.drop_prob > 0 \
+                and self._drop_rng.random() < config.drop_prob:
+            if self.stats is not None:
+                self.stats.incr("faults.dropped")
+            return "drop"
+        return None
+
+    def should_duplicate(self, msg: "Message") -> bool:
+        """Should the wire deliver this message a second time?"""
+        if self.config.dup_prob <= 0:
+            return False
+        hit = self._dup_rng.random() < self.config.dup_prob
+        if hit and self.stats is not None:
+            self.stats.incr("faults.duplicated")
+        return hit
+
+    def reorder_skew(self, msg: "Message") -> int:
+        """Extra delivery skew past the FIFO clamp (0 = in order)."""
+        config = self.config
+        if config.reorder_prob <= 0 or config.reorder_window <= 0:
+            return 0
+        if self._reorder_rng.random() >= config.reorder_prob:
+            return 0
+        skew = self._reorder_rng.randint(1, config.reorder_window)
+        if self.stats is not None:
+            self.stats.incr("faults.reordered")
+        return skew

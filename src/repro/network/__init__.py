@@ -1,4 +1,6 @@
 """Interconnect model."""
 from .noc import LatencyModel, Network
+from .reliable import ReliableNetwork, TransportError
 
-__all__ = ["LatencyModel", "Network"]
+__all__ = ["LatencyModel", "Network", "ReliableNetwork",
+           "TransportError"]

@@ -26,7 +26,7 @@ from __future__ import annotations
 from math import ceil
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
-from ..coherence.messages import Message
+from ..coherence.messages import Message, clone
 from ..sim.engine import Engine, SimulationError
 from ..sim.stats import StatsRegistry
 
@@ -117,10 +117,10 @@ class Network:
         #: optional deterministic fault injector (repro.faults); extra
         #: delay folds into link latency *before* the FIFO clamp
         self.fault_injector = None
-        #: id(msg) -> (delivery time, message) of undelivered sends,
-        #: kept for watchdog/deadlock diagnostics; each delivery event
-        #: removes its own entry, so the set is always exact
-        self._in_flight: Dict[int, Tuple[int, Message]] = {}
+        #: id(msg) -> (delivery time, message, send time) of undelivered
+        #: sends, kept for watchdog/deadlock diagnostics; each delivery
+        #: event removes its own entry, so the set is always exact
+        self._in_flight: Dict[int, Tuple[int, Message, int]] = {}
 
     def register(self, endpoint: Endpoint) -> None:
         if endpoint.name in self._endpoints:
@@ -206,9 +206,16 @@ class Network:
             serialization = 1
         start = now if now > link.free else link.free
         link.free = start + serialization
+        injector = self.fault_injector
+        if injector is not None and injector.unreliable:
+            # delivery faults armed: take the cold path (drop / dup /
+            # reorder / link-down / partition); the reliable sublayer
+            # above re-establishes exactly-once FIFO delivery
+            self._send_unreliable(msg, link, start + serialization, now)
+            return
         latency = link.latency
-        if self.fault_injector is not None:
-            latency += self.fault_injector.extra_delay(msg, now)
+        if injector is not None:
+            latency += injector.extra_delay(msg, now)
         delivery = start + serialization + latency
         # Preserve point-to-point FIFO even if parameters ever vary
         # (including injected per-message delay jitter).
@@ -219,7 +226,7 @@ class Network:
 
         if self.trace_hook is not None:
             self.trace_hook(msg, delivery)
-        self._in_flight[id(msg)] = (delivery, msg)
+        self._in_flight[id(msg)] = (delivery, msg, now)
         tracer = engine.tracer
         if tracer is not None:
             # The hop's flight time is fully determined here, so the
@@ -233,6 +240,59 @@ class Network:
         engine.schedule(delivery - now, self._receiver(dst), label,
                         False, (msg,))
 
+    # -- the delivery-fault path (cold: only with unreliable classes) ------
+    def _send_unreliable(self, msg: Message, link: _Link, ready: int,
+                         now: int) -> None:
+        """Apply drop/dup/reorder faults to one send.
+
+        Split out of :meth:`send` so the reliable-run overhead never
+        touches the fault-free or timing-fault-only hot paths.
+        """
+        engine = self.engine
+        injector = self.fault_injector
+        tracer = engine.tracer
+        reason = injector.drop_reason(msg, now)
+        if reason is not None:
+            # the wire ate it: no delivery event, no in-flight entry —
+            # exactly the hole the reliable sublayer must recover from
+            # (traffic was already accounted: the bytes hit the link)
+            if tracer is not None:
+                tracer.message_dropped(msg, now, reason)
+            return
+        delivery = ready + link.latency + injector.extra_delay(msg, now)
+        skew = injector.reorder_skew(msg)
+        if skew:
+            # deliberately break point-to-point FIFO: skip the clamp
+            # and leave last_delivery alone so later messages on this
+            # link can overtake the skewed one
+            delivery += skew
+        else:
+            if delivery < link.last_delivery:
+                delivery = link.last_delivery
+            link.last_delivery = delivery
+        self._counters["network.latency_cycles"] += delivery - now
+        if self.trace_hook is not None:
+            self.trace_hook(msg, delivery)
+        self._in_flight[id(msg)] = (delivery, msg, now)
+        if tracer is not None:
+            tracer.message_sent(msg, now, delivery)
+        kind = msg.kind
+        label = link.labels.get(kind)
+        if label is None:
+            label = link.labels[kind] = f"net:{kind.value}->{msg.dst}"
+        receiver = self._receiver(msg.dst)
+        engine.schedule(delivery - now, receiver, label, False, (msg,))
+        if injector.should_duplicate(msg):
+            # the wire delivers a second, independent copy one cycle
+            # later (a fresh object: receivers mutate what they get)
+            twin = clone(msg)
+            twin_delivery = delivery + 1
+            self._in_flight[id(twin)] = (twin_delivery, twin, now)
+            if tracer is not None:
+                tracer.message_duplicated(twin, now, twin_delivery)
+            engine.schedule(twin_delivery - now, receiver, label,
+                            False, (twin,))
+
     def in_flight(self) -> List[Tuple[int, Message]]:
         """Undelivered (delivery time, message) pairs, for diagnostics.
 
@@ -241,4 +301,31 @@ class Network:
         reported as still in flight (and an undelivered one never
         disappears early).
         """
-        return list(self._in_flight.values())
+        return [(delivery, msg)
+                for delivery, msg, _ in self._in_flight.values()]
+
+    def links_snapshot(self) -> List[dict]:
+        """Per-link fabric state for diagnostics (cold path).
+
+        One row per link that has carried traffic: cached latency, when
+        the link is next free, its last delivery time, the in-flight
+        depth, and the age of the oldest undelivered message.
+        """
+        now = self.engine.now
+        depth: Dict[Tuple[str, str], int] = {}
+        oldest: Dict[Tuple[str, str], int] = {}
+        for _, msg, sent in self._in_flight.values():
+            key = (msg.src, msg.dst)
+            depth[key] = depth.get(key, 0) + 1
+            if key not in oldest or sent < oldest[key]:
+                oldest[key] = sent
+        rows = []
+        for (src, dst), link in sorted(self._links.items()):
+            key = (src, dst)
+            rows.append({
+                "src": src, "dst": dst, "latency": link.latency,
+                "free": link.free, "last_delivery": link.last_delivery,
+                "in_flight": depth.get(key, 0),
+                "oldest_age": now - oldest[key] if key in oldest else 0,
+            })
+        return rows

@@ -239,6 +239,37 @@ class TraceRecorder:
                     req_id=msg.req_id, cls=msg.traffic_class,
                     info=msg.kind.value)
 
+    def message_dropped(self, msg: Message, now: int,
+                        reason: str) -> None:
+        """The wire ate a send (delivery fault); ``reason`` is the
+        fault class: drop / link_down / partition."""
+        self.record("net.drop", msg.src, dst=msg.dst, line=msg.line,
+                    req_id=msg.req_id, cls=msg.traffic_class,
+                    info=f"{msg.kind.value}:{reason}")
+
+    def message_duplicated(self, msg: Message, now: int,
+                           delivery: int) -> None:
+        """The wire delivers a second copy (delivery fault)."""
+        self.record("net.dup", msg.src, dst=msg.dst, line=msg.line,
+                    req_id=msg.req_id, cls=msg.traffic_class,
+                    dur=delivery - now, info=msg.kind.value)
+
+    # -- transport trace points (repro.network.reliable) -------------------
+    def transport_retransmit(self, msg: Message, attempt_rto: int) -> None:
+        self.record("transport.retx", msg.src, dst=msg.dst,
+                    line=msg.line, req_id=msg.req_id,
+                    cls=msg.traffic_class, dur=attempt_rto,
+                    info=msg.kind.value)
+
+    def transport_dedupe(self, msg: Message, why: str) -> None:
+        """Receiver-side transport suppressed a wire delivery
+        (``dup`` = already delivered upward, ``buffer`` = held for
+        in-order delivery)."""
+        self.record("transport.dedupe", msg.src, dst=msg.dst,
+                    line=msg.line, req_id=msg.req_id,
+                    cls=msg.traffic_class,
+                    info=f"{msg.kind.value}:{why}")
+
     # -- inspection --------------------------------------------------------
     def events(self) -> List[TraceEvent]:
         """Snapshot of the ring contents, oldest first."""

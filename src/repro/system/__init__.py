@@ -1,10 +1,12 @@
 """System configurations (Tables V/VI) and the machine builder."""
 from .builder import RunResult, System, build_system
 from .config import (CONFIG_ORDER, CONFIGS, FaultConfig,
-                     HIERARCHICAL_CONFIGS, SPANDEX_CONFIGS, SystemConfig,
-                     TraceConfig, WatchdogConfig, scaled_config)
+                     HIERARCHICAL_CONFIGS, LinkWindow, PartitionWindow,
+                     SPANDEX_CONFIGS, SystemConfig, TraceConfig,
+                     WatchdogConfig, parse_link_down, scaled_config)
 
 __all__ = ["RunResult", "System", "build_system", "CONFIG_ORDER",
            "CONFIGS", "FaultConfig", "HIERARCHICAL_CONFIGS",
-           "SPANDEX_CONFIGS", "SystemConfig", "TraceConfig",
-           "WatchdogConfig", "scaled_config"]
+           "LinkWindow", "PartitionWindow", "SPANDEX_CONFIGS",
+           "SystemConfig", "TraceConfig", "WatchdogConfig",
+           "parse_link_down", "scaled_config"]

@@ -25,6 +25,7 @@ from ..devices.gpu import GPUCU
 from ..faults import FaultInjector, LivenessWatchdog
 from ..mem.dram import MainMemory
 from ..network.noc import LatencyModel, Network
+from ..network.reliable import ReliableNetwork
 from ..network.topology import Attachment, TopoEndpoint, build_topology
 from ..obs import (MetricsTimeSeries, TraceFilter, TraceRecorder,
                    TransactionProfiler)
@@ -46,8 +47,21 @@ class System:
         self.engine = Engine()
         self.stats = StatsRegistry()
         self.latency_model = LatencyModel(default=config.net_default)
-        self.network = Network(self.engine, self.stats, self.latency_model,
-                               config.link_bytes_per_cycle)
+        # Zero-overhead passthrough: the reliable-transport sublayer is
+        # only interposed when a delivery-fault class is armed; every
+        # other run keeps the plain Network's unchanged hot path.
+        if config.faults is not None and config.faults.unreliable:
+            self.network = ReliableNetwork(
+                self.engine, self.stats, self.latency_model,
+                config.link_bytes_per_cycle,
+                rto=config.transport_rto,
+                rto_cap=config.transport_rto_cap,
+                dead_cycles=config.transport_dead_cycles)
+            self.network.diagnostic_source = self
+        else:
+            self.network = Network(self.engine, self.stats,
+                                   self.latency_model,
+                                   config.link_bytes_per_cycle)
         self.dram = MainMemory(self.engine, self.stats,
                                latency=config.dram_latency,
                                banks=config.llc_banks)
@@ -96,6 +110,11 @@ class System:
         self.topology = build_topology(config, self._topo_endpoints,
                                        self._topo_attachments)
         self.topology.install(self.latency_model)
+        if self.fault_injector is not None:
+            # partition faults key off the topology's socket map
+            # (empty on single-socket fabrics, so they never fire)
+            self.fault_injector.sockets = \
+                dict(getattr(self.topology, "sockets", {}) or {})
         if self.tracer is not None:
             for shard in self.llcs:
                 self.tracer.homes.add(shard.name)

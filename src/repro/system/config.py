@@ -33,11 +33,62 @@ MB = 1024 * KB
 
 
 @dataclass(frozen=True)
+class LinkWindow:
+    """A scheduled link outage (``repro.faults``): every message that
+    enters a matching ``src -> dst`` link during
+    ``[start, start + length)`` is silently dropped on the wire.
+    ``src`` / ``dst`` are :mod:`fnmatch` patterns over endpoint names
+    (``"*"`` matches everything, ``"llc*"`` every home shard)."""
+
+    start: int
+    length: int
+    src: str = "*"
+    dst: str = "*"
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.length <= 0:
+            raise ValueError(
+                f"LinkWindow needs start >= 0 and length > 0, got "
+                f"start={self.start} length={self.length}")
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """A full socket partition (``repro.faults``): during
+    ``[start, start + length)`` every message crossing into or out of
+    ``socket`` (per ``Topology.sockets``) is dropped — the CXL-style
+    "cable pulled" failure.  Intra-socket traffic is unaffected."""
+
+    start: int
+    length: int
+    socket: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.length <= 0:
+            raise ValueError(
+                f"PartitionWindow needs start >= 0 and length > 0, got "
+                f"start={self.start} length={self.length}")
+        if self.socket < 0:
+            raise ValueError(
+                f"PartitionWindow.socket must be >= 0, got {self.socket}")
+
+
+@dataclass(frozen=True)
 class FaultConfig:
     """Deterministic fault-injection parameters (``repro.faults``).
 
-    All faults perturb timing only (extra delay, forced Nacks), so a
-    correct protocol yields byte-identical final memory for any seed.
+    Two fault families (see ROBUSTNESS.md):
+
+    * **timing faults** (delay jitter, burst congestion, forced Nacks)
+      perturb *when* messages arrive but keep exactly-once FIFO
+      delivery, so the raw protocols absorb them unaided;
+    * **delivery faults** (drop, duplication, reordering, link-down
+      windows, socket partitions) break the fabric's delivery contract
+      and require the ``repro.network.reliable`` transport sublayer to
+      re-establish it.
+
+    Either way, a correct system yields byte-identical final memory for
+    any seed — only cycle counts may move.
     """
 
     seed: int = 0
@@ -54,17 +105,98 @@ class FaultConfig:
     #: traffic classes eligible for delay jitter (empty = all)
     classes: Tuple[str, ...] = ()
 
+    # -- delivery faults (require the reliable transport sublayer) -----
+    #: per-message probability the wire silently drops it
+    drop_prob: float = 0.0
+    #: per-message probability the wire delivers it twice
+    dup_prob: float = 0.0
+    #: per-message probability of cross-message reordering, and the max
+    #: extra skew (cycles) past the per-link FIFO clamp
+    reorder_prob: float = 0.0
+    reorder_window: int = 0
+    #: scheduled link outages (every matching send is dropped)
+    link_down: Tuple[LinkWindow, ...] = ()
+    #: scheduled socket partitions (multi_socket topologies)
+    partitions: Tuple[PartitionWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError(f"FaultConfig.seed must be >= 0, got "
+                             f"{self.seed}")
+        for name in ("delay_prob", "nack_prob", "drop_prob", "dup_prob",
+                     "reorder_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(
+                    f"FaultConfig.{name} must be in [0, 1], got {value}")
+        for name in ("max_extra_delay", "burst_period", "burst_length",
+                     "burst_extra", "reorder_window"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(
+                    f"FaultConfig.{name} must be >= 0, got {value}")
+        if self.burst_period > 0 and self.burst_length > self.burst_period:
+            raise ValueError(
+                f"FaultConfig.burst_length ({self.burst_length}) cannot "
+                f"exceed burst_period ({self.burst_period}): the burst "
+                f"window would cover every cycle")
+        if self.reorder_prob > 0 and self.reorder_window <= 0:
+            raise ValueError(
+                "FaultConfig.reorder_prob > 0 needs reorder_window > 0")
+        if self.drop_prob >= 1.0:
+            raise ValueError(
+                "FaultConfig.drop_prob = 1.0 drops every message: no "
+                "retransmit strategy can terminate")
+
+    @property
+    def unreliable(self) -> bool:
+        """Does any delivery-fault class fire?  When True the builder
+        interposes :class:`repro.network.reliable.ReliableNetwork`."""
+        return (self.drop_prob > 0 or self.dup_prob > 0
+                or (self.reorder_prob > 0 and self.reorder_window > 0)
+                or bool(self.link_down) or bool(self.partitions))
+
     @property
     def active(self) -> bool:
         return (self.delay_prob > 0 or self.nack_prob > 0
-                or (self.burst_period > 0 and self.burst_length > 0))
+                or (self.burst_period > 0 and self.burst_length > 0)
+                or self.unreliable)
 
     @classmethod
     def stress(cls, seed: int = 0) -> "FaultConfig":
-        """The standing stress profile used by tests and CI."""
+        """The standing timing-fault stress profile used by tests/CI."""
         return cls(seed=seed, delay_prob=0.05, max_extra_delay=40,
                    burst_period=4000, burst_length=250, burst_extra=25,
                    nack_prob=0.02)
+
+    @classmethod
+    def unreliable_stress(cls, seed: int = 0) -> "FaultConfig":
+        """The standing delivery-fault stress profile: moderate loss,
+        duplication and reordering on every link, plus a one-shot link
+        outage early in the run.  Intensities are chosen so a healthy
+        transport converges quickly (drop_prob well below 1, skew well
+        under the retransmit timeout)."""
+        return cls(seed=seed, drop_prob=0.02, dup_prob=0.02,
+                   reorder_prob=0.05, reorder_window=64,
+                   link_down=(LinkWindow(start=2_000, length=1_500),))
+
+
+def parse_link_down(spec: str) -> LinkWindow:
+    """Parse a CLI ``--link-down`` spec: ``START:LENGTH[:SRC[:DST]]``
+    (e.g. ``2000:1500`` or ``2000:1500:c0:llc*``)."""
+    parts = spec.split(":")
+    if len(parts) < 2 or len(parts) > 4:
+        raise ValueError(
+            f"link-down spec must be START:LENGTH[:SRC[:DST]], "
+            f"got {spec!r}")
+    try:
+        start, length = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"link-down START and LENGTH must be integers, got {spec!r}")
+    src = parts[2] if len(parts) > 2 else "*"
+    dst = parts[3] if len(parts) > 3 else "*"
+    return LinkWindow(start=start, length=length, src=src, dst=dst)
 
 
 @dataclass(frozen=True)
@@ -157,6 +289,15 @@ class SystemConfig:
     cross_socket_return_latency: int = 60
 
     tu_latency: int = 1
+
+    #: reliable-transport sublayer (repro.network.reliable), armed only
+    #: when ``faults`` enables a delivery-fault class: initial
+    #: retransmission timeout, its exponential-backoff cap, and how
+    #: long a channel may sit with unacked traffic before the watchdog
+    #: escalates a TransportError (dead-link deadline)
+    transport_rto: int = 400
+    transport_rto_cap: int = 6400
+    transport_dead_cycles: int = 200_000
 
     #: TU Nack handling: bounded ReqV retries with exponential backoff
     #: plus deterministic per-device jitter before escalating

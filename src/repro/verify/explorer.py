@@ -31,10 +31,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..analysis.invariants import InvariantChecker, InvariantViolation
-from ..coherence.messages import Message
+from ..coherence.messages import Message, clone
 from ..faults.diagnostics import collect_diagnostic
 from ..faults.watchdog import DeadlockError
 from ..network.noc import Network
+from ..network.reliable import _RecvChannel
 from ..protocols.base import Access
 from ..sim.engine import SimulationError
 from ..workloads.trace import Op
@@ -139,6 +140,107 @@ class ControlledNetwork(Network):
         now = self.engine.now
         return [(now, msg) for _link, queue in sorted(self._queues.items())
                 for _seq, msg in queue]
+
+
+class UnreliableControlledNetwork(ControlledNetwork):
+    """A controlled network whose links drop and duplicate on command.
+
+    The explorer spends ``drop_budget`` / ``dup_budget`` at choice
+    points it selects, so delivery faults land at *adversarial*
+    schedule positions rather than random ones.  Wire arrivals route
+    through the same :class:`repro.network.reliable._RecvChannel`
+    dedupe/reorder logic production runs use, so upward delivery to the
+    controllers stays exactly-once FIFO — what the litmus checks then
+    prove is that the transport semantics really are transparent to the
+    protocol at every schedule.
+
+    A *drop* models loss + timeout retransmit collapsed into one step:
+    the head copy vanishes and its retransmission (same sequence
+    number) re-enters at the link tail, letting every queued message
+    overtake it.  A *dup* leaves the head in place and appends a second
+    copy at the tail.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._send_seq: Dict[Tuple[str, str], int] = {}
+        self._recv_channels: Dict[Tuple[str, str], _RecvChannel] = {}
+        self.drop_budget = 0
+        self.dup_budget = 0
+        self.transport_drops = 0
+        self.transport_dups = 0
+
+    def send(self, msg: Message) -> None:
+        key = (msg.src, msg.dst)
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+        msg.meta["vseq"] = seq
+        super().send(msg)
+
+    def fault_actions(self) -> List[str]:
+        actions = ["deliver"]
+        if self.drop_budget > 0:
+            actions.append("drop")
+        if self.dup_budget > 0:
+            actions.append("dup")
+        return actions
+
+    def drop_head(self, msg: Message) -> None:
+        queue = self._queues[(msg.src, msg.dst)]
+        assert queue[0][1] is msg, "only link heads are droppable"
+        queue.popleft()
+        retx = clone(msg)
+        queue.append((self.enqueued, retx))
+        self.enqueued += 1
+        self.drop_budget -= 1
+        self.transport_drops += 1
+        self.stats.incr("transport.retransmits")
+
+    def dup_head(self, msg: Message) -> None:
+        queue = self._queues[(msg.src, msg.dst)]
+        assert queue[0][1] is msg, "only link heads are duplicable"
+        twin = clone(msg)
+        queue.append((self.enqueued, twin))
+        self.enqueued += 1
+        self.dup_budget -= 1
+        self.transport_dups += 1
+
+    def deliver(self, msg: Message) -> None:
+        queue = self._queues[(msg.src, msg.dst)]
+        assert queue[0][1] is msg, "only link heads are deliverable"
+        queue.popleft()
+        self.delivered += 1
+        if self.delivery_observer is not None:
+            self.delivery_observer(msg)
+        seq = msg.meta.get("vseq")
+        if seq is None:
+            ready = [msg]
+        else:
+            channel = self._recv_channels.get((msg.src, msg.dst))
+            if channel is None:
+                channel = self._recv_channels[(msg.src, msg.dst)] = \
+                    _RecvChannel()
+            ready, verdict = channel.admit(seq, msg)
+            if verdict == "dup":
+                self.stats.incr("transport.dup_dropped")
+            elif verdict == "buffer":
+                self.stats.incr("transport.reorder_buffered")
+        target = self._endpoints[msg.dst]
+        now = self.engine.now
+        tracer = self.engine.tracer
+        for deliverable in ready:
+            if tracer is None:
+                def deliver_fn(m=deliverable, t=target):
+                    t.receive(m)
+            else:
+                tracer.message_sent(deliverable, now, now + 1)
+
+                def deliver_fn(m=deliverable, t=target, tr=tracer):
+                    tr.message_delivered(m)
+                    t.receive(m)
+            self.engine.schedule_at(
+                now + 1, deliver_fn,
+                label=f"net:{deliverable.kind.value}->{deliverable.dst}")
 
 
 def _conflict(a: Message, b: Message) -> bool:
@@ -404,13 +506,21 @@ def run_schedule(scenario, config_name: str, chooser=None, *,
     """
     chooser = chooser or PrefixChooser()
     spec = scenario.spec()
-    system = VerifySystem(config_name, network_cls=ControlledNetwork,
+    verify_drops = spec.get("verify_drops", 0)
+    verify_dups = spec.get("verify_dups", 0)
+    unreliable = bool(verify_drops or verify_dups)
+    network_cls = UnreliableControlledNetwork if unreliable \
+        else ControlledNetwork
+    system = VerifySystem(config_name, network_cls=network_cls,
                           l1_size=spec.get("l1_size", 8 * 1024),
                           l1_assoc=spec.get("l1_assoc", 8),
                           llc_shards=spec.get("llc_shards", 1),
                           shard_interleave=spec.get("shard_interleave",
                                                     "line"),
                           trace=trace)
+    if unreliable:
+        system.network.drop_budget = verify_drops
+        system.network.dup_budget = verify_dups
     system.verify_context = dict(context or {})
     system.verify_context.setdefault("scenario", scenario.name)
     system.verify_context.setdefault("config", config_name)
@@ -447,23 +557,38 @@ def run_schedule(scenario, config_name: str, chooser=None, *,
             raise DeadlockError(
                 f"delivery budget exceeded ({deliveries} deliveries)",
                 collect_diagnostic(system, "verify: delivery budget"))
-        # Partial-order pruning: heads conflicting with no other head
-        # commute with everything pending — deliver them without a
-        # choice point.  Conflicting heads must still make progress in
-        # the SAME iteration (a spinning driver can mint fresh
-        # non-conflicting messages forever and starve them otherwise).
-        eager = [m for m in messages
-                 if not any(_conflict(m, other) for other in messages
-                            if other is not m)]
+        actions = network.fault_actions() if unreliable else ["deliver"]
+        if len(actions) > 1:
+            # fault budget remains: every head is a potential drop/dup
+            # site, so POR pruning would hide schedules — suspend it
+            # until the budget is spent
+            eager: List[Message] = []
+        else:
+            # Partial-order pruning: heads conflicting with no other
+            # head commute with everything pending — deliver them
+            # without a choice point.  Conflicting heads must still
+            # make progress in the SAME iteration (a spinning driver
+            # can mint fresh non-conflicting messages forever and
+            # starve them otherwise).
+            eager = [m for m in messages
+                     if not any(_conflict(m, other) for other in messages
+                                if other is not m)]
         for msg in eager:
             network.deliver(msg)
         deliveries += len(eager)
         conflicted = [m for m in messages if m not in eager]
         if conflicted:
-            index = (chooser.choose(len(conflicted))
-                     if len(conflicted) > 1 else 0)
-            network.deliver(conflicted[index])
-            deliveries += 1
+            space = len(conflicted) * len(actions)
+            index = chooser.choose(space) if space > 1 else 0
+            msg = conflicted[index % len(conflicted)]
+            action = actions[index // len(conflicted)]
+            if action == "drop":
+                network.drop_head(msg)
+            elif action == "dup":
+                network.dup_head(msg)
+            else:
+                network.deliver(msg)
+                deliveries += 1
 
     run = ScheduleRun(system, drivers, list(chooser.record),
                       list(chooser.branching), deliveries)

@@ -553,3 +553,70 @@ def _xshard_release_fan_in() -> Dict:
                Op.release_fence(), Op.store(FLAG2, 1)],
         "g1": [Op.spin_ge(FLAG2, 1), Op.load(DATA), Op.load(DATA2)],
     }, "llc_shards": 2}
+
+
+# ---------------------------------------------------------------------
+# unreliable-fabric races (verify_drops / verify_dups budgets): the
+# explorer spends each budget unit at a schedule point of its choosing
+# — dropping a link head (its retransmission re-enters at the link
+# tail, so everything queued overtakes it) or duplicating it.  Wire
+# arrivals pass through the production transport's dedupe/reorder
+# buffer, so these scenarios prove exactly-once FIFO delivery is
+# re-established at *adversarially chosen* fault positions, not just
+# random seeds.
+# ---------------------------------------------------------------------
+@litmus("unreliable-mp-handoff",
+        "The classic message-passing shape over a lossy link: the "
+        "explorer may drop (retransmit-late) or duplicate any message "
+        "— including the flag's RspWT and the data's RspV — at chosen "
+        "points; publication order must survive the transport.",
+        races=("reqv-vs-owner", "transport-loss"),
+        tags=("unreliable",))
+def _unreliable_mp_handoff() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 41), Op.release_fence(), Op.store(FLAG, 1)],
+        "g0": [Op.spin_ge(FLAG, 1), Op.load(DATA)],
+    }, "verify_drops": 2, "verify_dups": 1}
+
+
+@litmus("unreliable-atomic-counter",
+        "All four threads bump one counter while the wire drops and "
+        "duplicates: a duplicated ReqWT+data delivered twice would "
+        "double-count, a dropped response would hang the requestor — "
+        "dedupe and retransmit must both stay invisible (final = 4).",
+        races=("atomic-vs-owner", "transport-dup"),
+        tags=("unreliable",))
+def _unreliable_atomic_counter() -> Dict:
+    bump = [Op.rmw(CNT, atomic_add(1))]
+    return {"threads": {name: list(bump) for name in THREAD_NAMES},
+            "verify_drops": 1, "verify_dups": 2}
+
+
+@litmus("unreliable-ownership-handoff",
+        "Ownership migrates CPU -> GPU -> CPU over a faulty fabric: a "
+        "dropped forward or duplicated RspO around the ownership "
+        "transfer is the worst case for exactly-once semantics (a "
+        "replayed grant could resurrect a dead owner generation).",
+        races=("reqo-vs-owner", "transport-loss", "transport-dup"),
+        tags=("unreliable", "kills:denovo-reqo-keeps-owner"))
+def _unreliable_ownership_handoff() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 10), Op.release_fence(),
+               Op.store(FLAG, 1), Op.spin_ge(FLAG, 2), Op.load(DATA)],
+        "g0": [Op.spin_ge(FLAG, 1), Op.store(DATA, 20),
+               Op.release_fence(), Op.store(FLAG, 2)],
+    }, "verify_drops": 2, "verify_dups": 1}
+
+
+@litmus("unreliable-xshard-handoff",
+        "Cross-shard publication (data at shard 0, flag at shard 1) "
+        "over a lossy fabric on a 2-shard home: transport recovery and "
+        "the cross-shard release edge compose.",
+        races=("xshard-release", "transport-loss"),
+        tags=("unreliable", "xshard"))
+def _unreliable_xshard_handoff() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 61), Op.release_fence(),
+               Op.store(FLAG2, 1)],
+        "g0": [Op.spin_ge(FLAG2, 1), Op.load(DATA)],
+    }, "llc_shards": 2, "verify_drops": 2, "verify_dups": 1}

@@ -2,15 +2,20 @@
 sharding: the per-link latency cache going stale after ``set_pair`` /
 ``set_default`` (the first send on a pair froze its latency forever),
 and ``Network.send`` validating ``msg.dst`` but happily transmitting
-from an unregistered ``msg.src``.
+from an unregistered ``msg.src``.  Plus fault-injector edges: burst
+window boundary cycles, latency revalidation mid-run with an injector
+attached (both timing-only and unreliable paths), and the per-link
+fabric snapshot used by diagnostic dumps.
 """
 
 import pytest
 
 from repro.coherence.messages import Message, MsgKind
+from repro.faults.injector import FaultInjector
 from repro.network.noc import LatencyModel, Network
 from repro.sim.engine import Engine, SimulationError
 from repro.sim.stats import StatsRegistry
+from repro.system import FaultConfig, LinkWindow
 
 
 class Sink:
@@ -93,3 +98,75 @@ def test_controlled_network_rejects_unregistered_source():
     network.register(Sink("b", engine))
     with pytest.raises(SimulationError, match="unknown source"):
         network.send(Message(MsgKind.REQ_V, 0x100, 1, "ghost", "b"))
+
+
+# -- burst window boundary cycles ---------------------------------------------
+@pytest.mark.tier1
+def test_in_burst_boundary_cycles():
+    injector = FaultInjector(FaultConfig(
+        seed=0, burst_period=1000, burst_length=250, burst_extra=5))
+    # the window is [k*period, k*period + length): closed start, open end
+    assert injector.in_burst(0)
+    assert injector.in_burst(249)
+    assert not injector.in_burst(250)
+    assert not injector.in_burst(999)
+    assert injector.in_burst(1000)
+    assert injector.in_burst(1249)
+    assert not injector.in_burst(1250)
+
+
+@pytest.mark.tier1
+def test_in_burst_disabled_without_period_or_length():
+    assert not FaultInjector(FaultConfig()).in_burst(0)
+    assert not FaultInjector(FaultConfig(
+        seed=0, burst_period=1000)).in_burst(0)      # zero-length window
+
+
+# -- latency revalidation with an injector attached ---------------------------
+@pytest.mark.tier1
+def test_set_pair_applies_mid_run_with_injector_attached():
+    # the injector branch of Network.send adds latency *after* the link
+    # record lookup; a version bump must still re-derive the cached
+    # latency on that path (inert config: no RNG perturbations)
+    engine, model, network, sink = _rig(default=10)
+    network.fault_injector = FaultInjector(FaultConfig(seed=0),
+                                           network.stats)
+    before = _flight_time(engine, network, sink)
+    model.set_pair("a", "b", 3)
+    after = _flight_time(engine, network, sink)
+    assert before - after == 10 - 3
+
+
+@pytest.mark.tier1
+def test_set_pair_applies_mid_run_on_unreliable_path():
+    # same property through _send_unreliable (delivery-fault classes
+    # armed but scheduled far in the future, so no message is touched)
+    engine, model, network, sink = _rig(default=10)
+    network.fault_injector = FaultInjector(
+        FaultConfig(seed=0,
+                    link_down=(LinkWindow(start=10 ** 9, length=1),)),
+        network.stats)
+    assert network.fault_injector.unreliable
+    before = _flight_time(engine, network, sink)
+    model.set_pair("a", "b", 3)
+    after = _flight_time(engine, network, sink)
+    assert before - after == 10 - 3
+
+
+# -- per-link fabric snapshot -------------------------------------------------
+@pytest.mark.tier1
+def test_links_snapshot_tracks_in_flight_depth_and_age():
+    engine, model, network, sink = _rig(default=10)
+    network.send(Message(MsgKind.REQ_V, 0x100, 1, "a", "b"))
+    network.send(Message(MsgKind.REQ_V, 0x140, 1, "a", "b"))
+    (row,) = [r for r in network.links_snapshot()
+              if r["src"] == "a" and r["dst"] == "b"]
+    assert row["in_flight"] == 2
+    assert row["oldest_age"] == 0           # both sent at cycle 0
+    assert row["latency"] == 10
+    engine.run()
+    (row,) = [r for r in network.links_snapshot()
+              if r["src"] == "a" and r["dst"] == "b"]
+    assert row["in_flight"] == 0
+    assert row["oldest_age"] == 0
+    assert row["last_delivery"] == sink.received[-1][0]

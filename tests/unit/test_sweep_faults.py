@@ -143,3 +143,55 @@ def test_schema_drift_entry_quarantined(tmp_path):
     assert (tmp_path / "k1.json.corrupt").exists()
     assert cache.clear() == 1                       # corpses swept too
     assert not list(tmp_path.glob("*"))
+
+
+# -- unreliable-fabric sweep axes ---------------------------------------------
+def _faulty_spec(**fault_kwargs):
+    return CellSpec.make("ReuseS", "SDD", dict(SMALL, **fault_kwargs))
+
+
+def test_fault_kwargs_are_stripped_from_generator_kwargs():
+    spec = _faulty_spec(loss=0.02, dup=0.01, reorder_prob=0.05,
+                       reorder_window=32, link_down=("2000:1500",),
+                       fault_seed=3)
+    assert spec.workload_kwargs() == SMALL
+
+
+def test_fault_kwargs_build_the_cell_fault_config():
+    spec = _faulty_spec(loss=0.02, dup=0.01, reorder_prob=0.05,
+                       reorder_window=32,
+                       link_down=("2000:1500", "100:50:c0:llc*"),
+                       fault_seed=3)
+    faults = spec.system_config().faults
+    assert faults is not None and faults.unreliable
+    assert faults.seed == 3
+    assert faults.drop_prob == 0.02
+    assert faults.dup_prob == 0.01
+    assert (faults.reorder_prob, faults.reorder_window) == (0.05, 32)
+    assert [(w.start, w.length, w.src, w.dst) for w in faults.link_down] \
+        == [(2000, 1500, "*", "*"), (100, 50, "c0", "llc*")]
+
+
+def test_reorder_window_defaults_when_only_prob_given():
+    faults = _faulty_spec(reorder_prob=0.1).system_config().faults
+    assert faults.reorder_window == 64
+
+
+def test_plain_spec_has_no_fault_config():
+    assert good_spec().system_config().faults is None
+
+
+def test_fault_axes_change_the_cache_key():
+    from repro.analysis.sweep import cell_key
+
+    assert cell_key(good_spec()) != cell_key(_faulty_spec(loss=0.02))
+    assert cell_key(_faulty_spec(loss=0.02)) != \
+        cell_key(_faulty_spec(loss=0.02, fault_seed=9))
+
+
+def test_faulty_cell_simulates_and_validates_memory():
+    summary = run_sweep([_faulty_spec(loss=0.02, dup=0.02,
+                                      fault_seed=1)], jobs=1)
+    (cell,) = summary.cells
+    assert cell.memory_ok is True
+    assert cell.stats().get("transport.acks") > 0

@@ -1,0 +1,82 @@
+"""Exploration over an unreliable fabric: the litmus corpus's
+``unreliable-*`` scenarios give the schedule explorer drop/dup budgets
+to spend at *adversarial* choice points, and every explored schedule
+must still satisfy its checks — the transport's dedupe/reorder logic
+(the same ``_RecvChannel`` production uses) has to make delivery faults
+invisible to the protocol at every interleaving.
+
+Tier-1 runs bounded DFS on the two LLC families; the ``slow`` suite
+widens the budget across all six configurations (the nightly job).
+"""
+
+import pytest
+
+from repro.system.config import CONFIGS
+from repro.verify import CORPUS, DfsExplorer, run_schedule, \
+    scenario_by_name
+from repro.verify.explorer import (PrefixChooser,
+                                   UnreliableControlledNetwork)
+
+UNRELIABLE_SCENARIOS = tuple(s for s in CORPUS
+                             if "unreliable" in s.tags)
+SMOKE_CONFIGS = ("SMG", "HMG")
+
+
+@pytest.mark.tier1
+def test_corpus_carries_unreliable_scenarios():
+    names = {s.name for s in UNRELIABLE_SCENARIOS}
+    assert {"unreliable-mp-handoff", "unreliable-atomic-counter",
+            "unreliable-ownership-handoff",
+            "unreliable-xshard-handoff"} <= names
+
+
+@pytest.mark.tier1
+@pytest.mark.parametrize("config_name", SMOKE_CONFIGS)
+@pytest.mark.parametrize("scenario", UNRELIABLE_SCENARIOS,
+                         ids=lambda s: s.name)
+def test_bounded_dfs_over_unreliable_scenarios(scenario, config_name):
+    result = DfsExplorer(max_schedules=24).explore(scenario, config_name)
+    assert result.ok, result.failures
+    assert result.schedules > 1             # faults widened the tree
+
+
+@pytest.mark.tier1
+def test_unreliable_scenarios_use_the_fault_network():
+    scenario = scenario_by_name("unreliable-mp-handoff")
+    run = run_schedule(scenario, "SMG")
+    assert isinstance(run.system.network, UnreliableControlledNetwork)
+    # spec-declared budgets were installed before exploration began
+    spec = scenario.spec()
+    assert spec["verify_drops"] > 0 and spec["verify_dups"] > 0
+
+
+@pytest.mark.tier1
+def test_forced_prefix_spends_fault_budgets():
+    """A chooser that always picks the last option keeps selecting
+    drop/dup actions while budget remains, so the budgets must be
+    demonstrably consumed and the dedupe machinery must fire."""
+    scenario = scenario_by_name("unreliable-mp-handoff")
+    run = run_schedule(scenario, "SMG", PrefixChooser([5] * 6))
+    network = run.system.network
+    spec = scenario.spec()
+    assert network.transport_drops + network.transport_dups > 0
+    assert network.transport_drops <= spec["verify_drops"]
+    assert network.transport_dups <= spec["verify_dups"]
+
+
+@pytest.mark.tier1
+def test_plain_scenarios_keep_the_plain_network():
+    scenario = scenario_by_name("mp-flag-handoff")
+    run = run_schedule(scenario, "SMG")
+    assert not isinstance(run.system.network,
+                          UnreliableControlledNetwork)
+
+
+# -- the nightly widening -----------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("config_name", tuple(CONFIGS))
+@pytest.mark.parametrize("scenario", UNRELIABLE_SCENARIOS,
+                         ids=lambda s: s.name)
+def test_unreliable_dfs_all_configs(scenario, config_name):
+    result = DfsExplorer(max_schedules=96).explore(scenario, config_name)
+    assert result.ok, result.failures
