@@ -227,10 +227,12 @@ def simulate_cell(spec: CellSpec, validate_memory: bool = True,
     JSON-safe dict (the cache's on-disk format).
 
     ``trace_dir`` enables observability for the run and persists a
-    Chrome trace plus a profiler snapshot next to the cached result
-    (``<workload>-<config>-<key12>.trace.json`` / ``.profile.json``).
-    Tracing is passive, so the payload — and therefore the cache key —
-    is identical with or without it; artifacts are only (re)written
+    Chrome trace, a profiler snapshot, a health-metrics snapshot, and
+    Prometheus exposition text next to the cached result
+    (``<workload>-<config>-<key12>.trace.json`` / ``.profile.json`` /
+    ``.metrics.json`` / ``.prom``).  Tracing and monitoring are
+    passive, so the payload — and therefore the cache key — is
+    identical with or without them; artifacts are only (re)written
     when the cell actually simulates.
     """
     started = time.perf_counter()
@@ -243,7 +245,8 @@ def simulate_cell(spec: CellSpec, validate_memory: bool = True,
         import dataclasses
 
         from ..system.config import TraceConfig
-        config = dataclasses.replace(config, trace=TraceConfig())
+        config = dataclasses.replace(
+            config, trace=TraceConfig(monitor_interval=5000))
     system = build_system(config)
     system.load_workload(workload)
     run = system.run(max_events=max_events)
@@ -279,6 +282,23 @@ def simulate_cell(spec: CellSpec, validate_memory: bool = True,
                       sort_keys=True)
         payload["trace_artifact"] = str(trace_path)
         payload["profile_artifact"] = str(profile_path)
+        if system.monitor is not None:
+            from ..obs import (prometheus_text, registry_samples,
+                               stats_samples)
+            metrics_path = root / f"{stem}.metrics.json"
+            with open(metrics_path, "w") as handle:
+                json.dump({
+                    "health": system.monitor.health_summary(),
+                    "monitor": system.monitor.snapshot(),
+                    "spans": system.spans.snapshot(),
+                }, handle, indent=1, sort_keys=True)
+            prom_path = root / f"{stem}.prom"
+            with open(prom_path, "w") as handle:
+                handle.write(prometheus_text(
+                    registry_samples(system.registry)
+                    + stats_samples(system.stats)))
+            payload["metrics_artifact"] = str(metrics_path)
+            payload["prom_artifact"] = str(prom_path)
     return payload
 
 

@@ -35,7 +35,8 @@ from .analysis import (InvariantChecker, InvariantViolation, ResultCache,
                        format_figure, format_traffic_stack, grid_specs,
                        run_sweep, summarize_headline)
 from .faults import format_diagnostic
-from .obs import (format_timeline, load_chrome_trace,
+from .obs import (format_health, format_timeline, load_chrome_trace,
+                  prometheus_text, registry_samples, stats_samples,
                   validate_chrome_trace, write_chrome_trace)
 from .sim.engine import SimulationError
 from .system import (CONFIG_ORDER, CONFIGS, FaultConfig, TraceConfig,
@@ -114,6 +115,35 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="sample StatsRegistry counters every N "
                           "cycles into the trace's counter tracks "
                           "(implies --trace)")
+    run.add_argument("--monitor", action="store_true",
+                     help="scrape live health metrics (queue depths, "
+                          "MSHR occupancy, link backlogs, transport "
+                          "state) and collect per-request critical-"
+                          "path spans; implies --trace (default "
+                          "scrape interval: 5000 cycles)")
+    run.add_argument("--monitor-interval", type=int, default=0,
+                     metavar="CYCLES",
+                     help="health-monitor scrape period in cycles "
+                          "(implies --monitor)")
+    run.add_argument("--prom-out", default=None, metavar="FILE",
+                     help="write Prometheus text-exposition metrics "
+                          "(registry gauges + raw counters) here; "
+                          "with --config all, one file per "
+                          "configuration suffixed .<config> "
+                          "(implies --monitor)")
+    run.add_argument("--health-json", default=None, metavar="FILE",
+                     help="write the JSON health snapshot (metrics "
+                          "registry, scrape rows, critical-path "
+                          "rollups) here; suffixed like --prom-out "
+                          "(implies --monitor)")
+    run.add_argument("--top", type=int, default=0, metavar="K",
+                     help="rows in top-K health rollups (contended "
+                          "lines / shards / links; default: 8)")
+    run.add_argument("--top-every", type=int, default=0,
+                     metavar="SCRAPES",
+                     help="print the live 'repro top' health view "
+                          "every N scrapes during the run (implies "
+                          "--monitor)")
     _add_fabric_options(run)
 
     for figure, workloads in (("figure2", MICROBENCHMARKS),
@@ -160,8 +190,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip final-memory validation against the "
                             "DRF reference executor")
     sweep.add_argument("--trace-artifacts", default=None, metavar="DIR",
-                       help="persist a Chrome trace + profiler "
-                            "snapshot per simulated cell into DIR")
+                       help="persist a Chrome trace, profiler snapshot, "
+                            "health-metrics snapshot, and Prometheus "
+                            "exposition per simulated cell into DIR")
     _add_sweep_options(sweep)
 
     bench = sub.add_parser(
@@ -406,8 +437,14 @@ def _cmd_run(args) -> int:
             num_cpus=args.cpus, num_gpus=args.gpus,
             warps_per_cu=args.warps)
 
+    monitor_interval = max(0, args.monitor_interval)
+    if monitor_interval == 0 and (args.monitor or args.prom_out
+                                  or args.health_json
+                                  or args.top_every > 0):
+        monitor_interval = 5000
     tracing = (args.trace or bool(args.trace_filter) or args.trace_out
-               or args.timeline is not None or args.metrics_interval > 0)
+               or args.timeline is not None or args.metrics_interval > 0
+               or monitor_interval > 0)
 
     try:
         faults = _fault_config(args)
@@ -426,7 +463,9 @@ def _cmd_run(args) -> int:
         if tracing:
             replacements["trace"] = TraceConfig(
                 filters=tuple(args.trace_filter),
-                metrics_interval=max(0, args.metrics_interval))
+                metrics_interval=max(0, args.metrics_interval),
+                monitor_interval=monitor_interval,
+                health_top_k=args.top if args.top > 0 else 8)
         if replacements:
             config = dataclasses.replace(config, **replacements)
         return config
@@ -454,6 +493,12 @@ def _cmd_run(args) -> int:
         checker: Optional[InvariantChecker] = None
         if args.invariants:
             checker = InvariantChecker(system)
+        if system.monitor is not None and args.top_every > 0:
+            def live_view(row, monitor=system.monitor,
+                          every=args.top_every):
+                if monitor.scrapes % every == 0:
+                    print(format_health(monitor))
+            system.monitor.on_sample.append(live_view)
         for core in system.cpus:
             if core.trace:
                 core.start()
@@ -471,6 +516,8 @@ def _cmd_run(args) -> int:
                 checker.audit(final=True)
             if system.metrics is not None:
                 system.metrics.finalize(system.engine.now)
+            if system.monitor is not None:
+                system.monitor.finalize(system.engine.now)
         except (SimulationError, InvariantViolation) as exc:
             # DeadlockError and budget exhaustion included: report and
             # dump rather than tracebacking out of the CLI
@@ -521,6 +568,34 @@ def _cmd_run(args) -> int:
             if system.profiler is not None:
                 print(system.profiler.format_report(
                     f"{config_name} latency breakdown"))
+            if system.monitor is not None:
+                print(format_health(system.monitor))
+                if system.spans is not None and system.spans.completed:
+                    print(system.spans.format_report(
+                        f"{config_name} critical path"))
+                suffix = f".{config_name}" if len(configs) > 1 else ""
+                if args.prom_out:
+                    path = args.prom_out + suffix
+                    text = prometheus_text(
+                        registry_samples(system.registry)
+                        + stats_samples(system.stats))
+                    with open(path, "w") as handle:
+                        handle.write(text)
+                    print(f"      prometheus metrics -> {path}")
+                if args.health_json:
+                    path = args.health_json + suffix
+                    payload = {
+                        "workload": args.workload,
+                        "config": config_name,
+                        "health": system.monitor.health_summary(),
+                        "monitor": system.monitor.snapshot(),
+                        "spans": system.spans.snapshot(),
+                    }
+                    with open(path, "w") as handle:
+                        json.dump(payload, handle, indent=1,
+                                  sort_keys=True)
+                        handle.write("\n")
+                    print(f"      health snapshot -> {path}")
             if args.trace_out:
                 section = {"name": config_name,
                            "events": list(system.tracer.events())}

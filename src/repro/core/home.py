@@ -109,6 +109,11 @@ class SpandexHome(Component):
         super().__init__(engine, name)
         self.network = network
         self.stats = stats
+        #: canonical per-shard counters (``home.<name>.*``) with the
+        #: historical flat names (``llc.*``) kept as aggregate aliases
+        #: for one release; claiming the scope here makes duplicate
+        #: home names fail loudly at build time
+        self.hstats = stats.scoped(f"home.{name}", "llc")
         self.array: CacheArray[HomeState] = CacheArray(
             size_bytes, assoc, HomeState.I)
         self.access_latency = access_latency
@@ -203,7 +208,7 @@ class SpandexHome(Component):
             self._handle_probe_response(msg)
             return
         if msg.kind in TABLE_III:
-            self.stats.incr_group("llc.requests", msg.kind.value)
+            self.hstats.incr_group("requests", msg.kind.value)
             self._process_request(msg)
             return
         self._dispatch_other(msg)
@@ -229,7 +234,7 @@ class SpandexHome(Component):
         self._replay_deferred(line_obj.line)
 
     def _defer(self, msg: Message) -> None:
-        self.stats.incr("llc.deferred")
+        self.hstats.incr("deferred")
         tracer = self.engine.tracer
         if tracer is not None:
             tracer.record("home.defer", self.name, line=msg.line,
@@ -293,7 +298,7 @@ class SpandexHome(Component):
         if msg.line in self._fetching:
             return None
         self._fetching.add(msg.line)
-        self.stats.incr("llc.fills")
+        self.hstats.incr("fills")
         tracer = self.engine.tracer
         if tracer is not None:
             tracer.record("home.fill", self.name, line=msg.line,
@@ -333,7 +338,7 @@ class SpandexHome(Component):
 
     def _evict(self, victim: CacheLine, then: Callable[[], None]) -> None:
         """Evict ``victim`` (never holds owned words: those are pinned)."""
-        self.stats.incr("llc.evictions")
+        self.hstats.incr("evictions")
         sharers = self._sharers(victim)
         if victim.state == HomeState.S and sharers:
             txn = self._new_txn(victim.line, FULL_LINE_MASK, "evict-inv",
@@ -373,7 +378,7 @@ class SpandexHome(Component):
                 tracer.record("home.state", self.name,
                               line=line_obj.line, info="S->V inv")
         for target in targets:
-            self.stats.incr("llc.invalidations_sent")
+            self.hstats.incr("invalidations_sent")
             self.network.send(Message(
                 MsgKind.INV, line_obj.line, mask, src=self.name,
                 dst=target, req_id=txn.txn_id))
@@ -393,7 +398,7 @@ class SpandexHome(Component):
                           line=line_obj.line, req_id=txn.txn_id,
                           info=f"{txn.kind} owners={len(by_owner)}")
         for owner, owner_mask in sorted(by_owner.items()):
-            self.stats.incr("llc.revokes_sent")
+            self.hstats.incr("revokes_sent")
             self.network.send(Message(
                 MsgKind.RVK_O, line_obj.line, owner_mask, src=self.name,
                 dst=owner, req_id=txn.txn_id))
@@ -470,7 +475,7 @@ class SpandexHome(Component):
                 self.fault_injector.should_nack(msg):
             # Amplified owner-departed race (§III-C.3): reject the ReqV
             # and let the requestor's retry/escalation path recover.
-            self.stats.incr("llc.forced_nacks")
+            self.hstats.incr("forced_nacks")
             tracer = self.engine.tracer
             if tracer is not None:
                 tracer.record("home.nack", self.name, dst=msg.src,
@@ -638,7 +643,7 @@ class SpandexHome(Component):
             msg.line, lambda: self._perform_atomic(msg, line_obj))
 
     def _perform_atomic(self, msg: Message, line_obj: CacheLine) -> None:
-        self.stats.incr("llc.atomics")
+        self.hstats.incr("atomics")
         old: Dict[int, int] = {}
         for index in iter_mask(msg.mask):
             old[index] = line_obj.data[index]
@@ -665,7 +670,7 @@ class SpandexHome(Component):
         # A write-back from a non-owner raced with an ownership transfer;
         # ack it and drop the stale data (Table III last row).
         if applied != msg.mask:
-            self.stats.incr("llc.stale_writebacks")
+            self.hstats.incr("stale_writebacks")
         self._respond(msg, MsgKind.RSP_WB, msg.mask, {})
 
     # ------------------------------------------------------------------
@@ -688,7 +693,7 @@ class SpandexHome(Component):
         tracer = self.engine.tracer
         for owner, owner_mask in sorted(
                 self._group_by_owner(line_obj, mask).items()):
-            self.stats.incr("llc.forwards")
+            self.hstats.incr("forwards")
             if tracer is not None:
                 tracer.record("home.fwd", self.name, dst=owner,
                               line=msg.line, req_id=msg.req_id,

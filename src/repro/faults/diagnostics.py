@@ -179,6 +179,11 @@ def collect_diagnostic(system, reason: str,
         diag["fabric"] = network.links_snapshot()
     if network is not None and hasattr(network, "transport_snapshot"):
         diag["transport"] = network.transport_snapshot()
+    monitor = getattr(system, "monitor", None)
+    if monitor is not None:
+        # last health scrape + whole-run peaks + critical-path rollups
+        # — where the contention was when the run died
+        diag["health"] = monitor.health_summary()
     implicated = _implicated_lines(system, stalled)
     lines: Dict[str, Dict[str, object]] = {}
     for line in implicated:
@@ -281,6 +286,29 @@ def format_diagnostic(diag: Dict[str, object]) -> str:
             lines.append(
                 f"  transport {row['src']}->{row['dst']} (recv): "
                 f"expect={row['expect']} buffered={row['buffered']}")
+    health = diag.get("health")
+    if health:
+        lines.append(f"  health (scrape interval "
+                     f"{health.get('interval', '?')}, "
+                     f"{health.get('scrapes', 0)} scrapes):")
+        peaks = sorted(health.get("peaks", {}).items(),
+                       key=lambda kv: (-kv[1], kv[0]))
+        for name, value in peaks[:12]:
+            lines.append(f"    peak {name} = {value:g}")
+        path = health.get("critical_path")
+        if path:
+            stages = path.get("stage_totals", {})
+            detail = " ".join(f"{stage}={stages[stage]:,.0f}"
+                              for stage in sorted(stages)
+                              if stages[stage])
+            lines.append(f"    critical path: {detail}")
+            for label, key in (("shards", "top_shards"),
+                               ("links", "top_links")):
+                top = path.get(key) or []
+                if top:
+                    detail = " ".join(f"{name}={cycles:,.0f}"
+                                      for name, cycles in top[:4])
+                    lines.append(f"    hot {label}: {detail}")
     for line, cross in diag.get("lines", {}).items():
         lines.append(f"  line {line}:")
         for holder, view in cross.items():

@@ -40,6 +40,10 @@ class MSHRFile(Generic[T]):
         self.capacity = capacity
         self.clock = clock
         self._entries: Dict[int, MSHREntry[T]] = {}
+        #: peak simultaneous occupancy over the run — one integer
+        #: compare per allocation, cheap enough to keep always-on so
+        #: the health monitor can read it without perturbing anything
+        self.high_water = 0
         #: optional trace recorder + owning cache name, attached by the
         #: owning controller when the system is built with tracing on
         self.tracer = None
@@ -66,6 +70,8 @@ class MSHRFile(Generic[T]):
         now = self.clock() if self.clock is not None else 0
         entry = MSHREntry(line, primary, allocated_at=now)
         self._entries[line] = entry
+        if len(self._entries) > self.high_water:
+            self.high_water = len(self._entries)
         if self.tracer is not None:
             self.tracer.record(
                 "mshr.alloc", self.owner, line=line,

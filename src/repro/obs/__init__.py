@@ -13,16 +13,30 @@ change cycle counts, event counts, or final memory:
   stitches events into per-request lifecycles keyed by ``req_id`` and
   attributes latency to stages (issue queue, network, indirection /
   forward hops, home occupancy, blocking).
-* :mod:`repro.obs.export` / :mod:`repro.obs.metrics` — Chrome/Perfetto
-  trace-event JSON, a human-readable per-address timeline, and periodic
-  epoch snapshots of the :class:`~repro.sim.stats.StatsRegistry`.
+* :mod:`repro.obs.monitor` / :mod:`repro.obs.spans` — a hierarchical
+  :class:`MetricsRegistry` of typed instruments scraped by a
+  :class:`HealthMonitor` on an engine-cycle interval, and a
+  :class:`SpanCollector` decomposing per-request end-to-end latency
+  into an exact partition of critical-path stages with top-K
+  contended-line / shard / link rollups.
+* :mod:`repro.obs.export` / :mod:`repro.obs.metrics` /
+  :mod:`repro.obs.prometheus` — Chrome/Perfetto trace-event JSON, a
+  human-readable per-address timeline, periodic epoch snapshots of the
+  :class:`~repro.sim.stats.StatsRegistry`, and Prometheus text
+  exposition with a validating parser.
 """
 
 from .export import (chrome_trace_events, format_timeline,
                      load_chrome_trace, validate_chrome_trace,
                      write_chrome_trace)
 from .metrics import MetricsTimeSeries
+from .monitor import (Counter, Gauge, HealthMonitor, Histogram,
+                      MetricsRegistry, MetricsScope, format_health)
 from .profile import STAGES, TransactionProfiler
+from .prometheus import (parse_prometheus_text, prometheus_text,
+                         registry_samples, sanitize_metric_name,
+                         stats_samples)
+from .spans import SPAN_STAGES, SpanCollector, decompose
 from .trace import (INDIRECTION_HOPS, TraceEvent, TraceFilter,
                     TraceRecorder, hop_class)
 
@@ -31,6 +45,11 @@ __all__ = [
     "INDIRECTION_HOPS",
     "TransactionProfiler", "STAGES",
     "MetricsTimeSeries",
+    "MetricsRegistry", "MetricsScope", "HealthMonitor",
+    "Counter", "Gauge", "Histogram", "format_health",
+    "SpanCollector", "SPAN_STAGES", "decompose",
+    "prometheus_text", "parse_prometheus_text", "registry_samples",
+    "stats_samples", "sanitize_metric_name",
     "chrome_trace_events", "write_chrome_trace", "load_chrome_trace",
     "validate_chrome_trace", "format_timeline",
 ]

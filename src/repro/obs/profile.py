@@ -36,6 +36,15 @@ Multi-hop / multi-responder requests overlap stages in wall-clock time,
 so per-stage sums may exceed the end-to-end total; ``other`` clamps at
 zero.  Breakdowns are kept per originating device and, independently,
 per message traffic class x hop class.
+
+On an unreliable fabric the transport retransmits sequenced messages;
+each retransmission is a genuine ``net.send`` carrying the *same*
+``rseq``.  The profiler counts each sequence number once per channel
+(a per-(src, dst) high-water mark — first sends stamp strictly
+increasing sequence numbers) and books repeats separately as
+``retx_flight_cycles`` so flight attribution is not inflated.
+``net.dup`` wire duplicates are not dispatched to the send path at
+all.
 """
 
 from __future__ import annotations
@@ -92,6 +101,17 @@ class TransactionProfiler:
         self.home_busy: Dict[str, float] = defaultdict(float)
         #: DRAM fetch cycles (overlaps `blocked`; reported separately)
         self.dram_cycles = 0.0
+        #: per-(src, dst) highest transport sequence already counted.
+        #: First sends stamp strictly increasing ``rseq`` per channel,
+        #: so a ``net.send`` at or below the watermark is a transport
+        #: retransmission of a message whose flight time was already
+        #: attributed — counting it again would inflate ``by_class``
+        #: and the per-transaction stage totals.
+        self._seq_watermark: Dict[tuple, int] = {}
+        #: flight cycles carried by retransmitted wire sends (kept
+        #: out of by_class / stage attribution, reported separately)
+        self.retx_flight_cycles = 0.0
+        self.retx_suppressed = 0
 
     # -- sink protocol -----------------------------------------------------
     def __call__(self, event: TraceEvent) -> None:
@@ -120,6 +140,16 @@ class TransactionProfiler:
             self.dram_cycles += event.dur
 
     def _on_send(self, event: TraceEvent) -> None:
+        if event.rseq is not None:
+            channel = (event.src, event.dst)
+            watermark = self._seq_watermark.get(channel)
+            if watermark is not None and event.rseq <= watermark:
+                # a transport retransmission re-entering the wire:
+                # its flight was already attributed on the first send
+                self.retx_flight_cycles += event.dur
+                self.retx_suppressed += 1
+                return
+            self._seq_watermark[channel] = event.rseq
         if event.cls is not None:
             hop = event.hop or "direct"
             self.by_class[event.cls][hop] += event.dur
@@ -171,6 +201,8 @@ class TransactionProfiler:
                          for cls, hops in self.by_class.items()},
             "home_busy": dict(self.home_busy),
             "dram_cycles": self.dram_cycles,
+            "retx_flight_cycles": self.retx_flight_cycles,
+            "retx_suppressed": self.retx_suppressed,
             "indirection_cycles": self.indirection_cycles(),
             "latency": self.sampler.snapshot(),
         }
@@ -204,6 +236,11 @@ class TransactionProfiler:
                      f"{self.indirection_cycles():,.0f}")
         lines.append(f"  dram fetch cycles (overlapped): "
                      f"{self.dram_cycles:,.0f}")
+        if self.retx_suppressed:
+            lines.append(
+                f"  retransmitted sends excluded: "
+                f"{self.retx_suppressed} "
+                f"({self.retx_flight_cycles:,.0f} flight cycles)")
         for label in sorted(self.sampler.labels()):
             lines.append(
                 f"  {label:<16} n={self.sampler.count(label):<7} "

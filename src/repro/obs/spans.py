@@ -1,0 +1,383 @@
+"""Span trees and cross-shard critical-path attribution.
+
+The :class:`TransactionProfiler` answers *"how much flight / home /
+blocked time did requests accrue"* — but overlapping hops mean its
+stage sums can exceed end-to-end latency, so it cannot say *where the
+wall-clock time actually went*.  This module answers that question.
+
+:class:`SpanCollector` is a recorder sink that stitches the existing
+trace events into a causal per-request span tree (issue ->
+shard-indirected hops -> probe fan-out -> transport retransmissions ->
+completion) and decomposes each request's end-to-end latency into an
+**exact partition** of wall-clock stages:
+
+``issue``
+    from ``l1.issue`` until the request's first wire hop.
+``queue``
+    covered by home occupancy (``home.busy``) or a defer->replay
+    window — the shard-contention component.
+``flight``
+    covered by a direct / forwarded / response hop in flight.
+``probe``
+    covered by invalidation / revocation fan-out flight.
+``retransmit``
+    the RTO wait that preceded a transport retransmission.
+``other``
+    wall-clock time covered by none of the above (device-side
+    bookkeeping, L2 hits under the L1, ...).
+
+The decomposition sweeps the elementary segments between interval
+boundaries and assigns each segment to the *highest-priority* active
+interval (retransmit > queue > probe > flight > issue), so the stage
+values sum to the end-to-end latency **exactly** — no double counting
+of overlapped hops, no residual clamp.
+
+Each interval carries a resource tag (home name for queue time, the
+``(src, dst)`` link for flight/probe/retransmit), and each request a
+line address, so critical-path cycles roll up into top-K contended
+lines, shards, and links — the live monitor and the diagnostic health
+summary both read those tables.
+
+Like every sink, the collector is passive: it never schedules engine
+events, so runs are bit-identical with span collection on or off.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from operator import itemgetter
+from typing import Dict, List, Optional, Tuple
+
+from .trace import TraceEvent
+
+#: exact-partition stages, in report order
+SPAN_STAGES = ("issue", "queue", "flight", "probe", "retransmit",
+               "other")
+
+#: which active interval wins an overlapped segment (higher wins);
+#: "other" is the absence of any interval
+_PRIORITY = {"retransmit": 5, "queue": 4, "probe": 3, "flight": 2,
+             "issue": 1}
+
+_STAGE_ZERO = {stage: 0.0 for stage in SPAN_STAGES}
+_BY_START = itemgetter(1, 2)
+
+
+class _OpenSpan:
+    __slots__ = ("origin", "line", "purpose", "start", "first_send",
+                 "intervals", "defer_starts")
+
+    def __init__(self, origin: str, line: Optional[int], purpose: str,
+                 start: int):
+        self.origin = origin
+        self.line = line
+        self.purpose = purpose
+        self.start = start
+        self.first_send: Optional[int] = None
+        #: (stage, t0, t1, resource) — resource is a home name for
+        #: queue, "src->dst" for wire stages, origin for issue
+        self.intervals: List[Tuple[str, int, int, str]] = []
+        self.defer_starts: List[Tuple[int, str]] = []
+
+
+def decompose(start: int, end: int,
+              intervals: List[Tuple[str, int, int, str]]
+              ) -> Tuple[Dict[str, float], List[Tuple[str, int, int,
+                                                      str]]]:
+    """Exact-partition [start, end) across prioritized intervals.
+
+    Returns ``(stages, segments)``: per-stage totals summing to
+    ``end - start`` exactly, and the winning elementary segments
+    (stage, t0, t1, resource) for resource attribution.
+    """
+    stages = _STAGE_ZERO.copy()
+    segments: List[Tuple[str, int, int, str]] = []
+    if end <= start:
+        return stages, segments
+    clipped = []
+    for stage, t0, t1, resource in intervals:
+        if t0 < start:
+            t0 = start
+        if t1 > end:
+            t1 = end
+        if t1 > t0:
+            clipped.append((stage, t0, t1, resource))
+    # fast path: most spans' intervals are strictly sequential (issue
+    # -> flight -> queue -> flight), which needs no overlap sweep —
+    # emit segments linearly, gap-filling with "other".  This path is
+    # hot (once per completed request, under the 10% monitoring-
+    # overhead budget); the sweep below is the general case.
+    clipped.sort(key=_BY_START)
+    sequential = True
+    cursor = start
+    for _, t0, t1, _ in clipped:
+        if t0 < cursor:
+            sequential = False
+            break
+        cursor = t1
+    if sequential:
+        cursor = start
+        for stage, t0, t1, resource in clipped:
+            if t0 > cursor:
+                stages["other"] += t0 - cursor
+                segments.append(("other", cursor, t0, ""))
+            stages[stage] += t1 - t0
+            if segments and segments[-1][0] == stage \
+                    and segments[-1][2] == t0 \
+                    and segments[-1][3] == resource:
+                prev = segments.pop()
+                segments.append((stage, prev[1], t1, resource))
+            else:
+                segments.append((stage, t0, t1, resource))
+            cursor = t1
+        if end > cursor:
+            stages["other"] += end - cursor
+            segments.append(("other", cursor, end, ""))
+        return stages, segments
+    boundaries = {start, end}
+    for _, t0, t1, _ in clipped:
+        boundaries.add(t0)
+        boundaries.add(t1)
+    cuts = sorted(boundaries)
+    for left, right in zip(cuts, cuts[1:]):
+        winner = None
+        for stage, t0, t1, resource in clipped:
+            if t0 <= left and right <= t1:
+                if winner is None or _PRIORITY[stage] > \
+                        _PRIORITY[winner[0]]:
+                    winner = (stage, resource)
+        stage, resource = winner if winner is not None \
+            else ("other", "")
+        stages[stage] += right - left
+        if segments and segments[-1][0] == stage \
+                and segments[-1][2] == left \
+                and segments[-1][3] == resource:
+            # merge adjacent same-stage segments for readable trees
+            prev = segments.pop()
+            segments.append((stage, prev[1], right, resource))
+        else:
+            segments.append((stage, left, right, resource))
+    return stages, segments
+
+
+class SpanCollector:
+    """Stitch trace events into spans; attribute the critical path."""
+
+    def __init__(self, top_k: int = 8, keep_spans: int = 256):
+        self.top_k = max(1, int(top_k))
+        self._open: Dict[int, _OpenSpan] = {}
+        self.completed = 0
+        self.total_cycles = 0.0
+        self.stage_totals: Dict[str, float] = \
+            {stage: 0.0 for stage in SPAN_STAGES}
+        #: line address -> contention cycles (queue + retransmit +
+        #: probe on the critical path)
+        self.line_cycles: Dict[int, float] = {}
+        #: home/shard name -> critical-path queue cycles
+        self.shard_cycles: Dict[str, float] = {}
+        #: "src->dst" -> critical-path wire cycles (flight + probe +
+        #: retransmit)
+        self.link_cycles: Dict[str, float] = {}
+        #: most recent completed spans (bounded), with segment trees
+        self.recent = deque(maxlen=max(1, int(keep_spans)))
+        #: top-K slowest spans by end-to-end latency
+        self.slowest: List[dict] = []
+        self._handlers = {
+            "net.send": self._on_send,
+            "home.busy": self._on_busy,
+            "home.defer": self._on_defer,
+            "home.replay": self._on_replay,
+            "transport.retx": self._on_retx,
+            "l1.issue": self._on_issue,
+            "l1.complete": self._finish,
+        }
+
+    # -- sink protocol -----------------------------------------------------
+    # The collector sees EVERY trace event; most are not span-relevant,
+    # so dispatch is one dict probe (the handler table is built once in
+    # __init__) instead of a compare chain — this path is covered by
+    # the 10% monitoring-overhead budget in ``repro bench``.
+    def __call__(self, event: TraceEvent) -> None:
+        handler = self._handlers.get(event.kind)
+        if handler is not None:
+            handler(event)
+
+    def _on_send(self, event: TraceEvent) -> None:
+        span = self._open.get(event.req_id)
+        if span is None:
+            return
+        if span.first_send is None:
+            span.first_send = event.ts
+        stage = "probe" if event.hop == "probe" else "flight"
+        span.intervals.append(
+            (stage, event.ts, event.ts + int(event.dur),
+             f"{event.src}->{event.dst}"))
+
+    def _on_busy(self, event: TraceEvent) -> None:
+        span = self._open.get(event.req_id)
+        if span is not None:
+            span.intervals.append(
+                ("queue", event.ts, event.ts + int(event.dur),
+                 event.src))
+
+    def _on_defer(self, event: TraceEvent) -> None:
+        span = self._open.get(event.req_id)
+        if span is not None:
+            span.defer_starts.append((event.ts, event.src))
+
+    def _on_replay(self, event: TraceEvent) -> None:
+        span = self._open.get(event.req_id)
+        if span is not None and span.defer_starts:
+            t0, home = span.defer_starts.pop()
+            span.intervals.append(("queue", t0, event.ts, home))
+
+    def _on_retx(self, event: TraceEvent) -> None:
+        span = self._open.get(event.req_id)
+        if span is not None:
+            # the event marks the retransmission instant; its dur
+            # is the RTO that was waited out beforehand
+            t0 = max(span.start, event.ts - int(event.dur))
+            span.intervals.append(
+                ("retransmit", t0, event.ts,
+                 f"{event.src}->{event.dst}"))
+
+    def _on_issue(self, event: TraceEvent) -> None:
+        self._open[event.req_id] = _OpenSpan(
+            event.src, event.line, event.info or "?", event.ts)
+
+    def _finish(self, event: TraceEvent) -> None:
+        span = self._open.pop(event.req_id, None)
+        if span is None:
+            return
+        end = event.ts
+        if span.first_send is not None and span.first_send > span.start:
+            span.intervals.append(
+                ("issue", span.start, span.first_send, span.origin))
+        stages, segments = decompose(span.start, end, span.intervals)
+        total = float(end - span.start)
+        self.completed += 1
+        self.total_cycles += total
+        for stage, value in stages.items():
+            self.stage_totals[stage] += value
+        contention = (stages["queue"] + stages["retransmit"]
+                      + stages["probe"])
+        if span.line is not None and contention > 0:
+            self.line_cycles[span.line] = \
+                self.line_cycles.get(span.line, 0.0) + contention
+        for stage, t0, t1, resource in segments:
+            width = t1 - t0
+            if stage == "queue":
+                self.shard_cycles[resource] = \
+                    self.shard_cycles.get(resource, 0.0) + width
+            elif stage in ("flight", "probe", "retransmit") \
+                    and resource:
+                self.link_cycles[resource] = \
+                    self.link_cycles.get(resource, 0.0) + width
+        record = {
+            "req_id": event.req_id,
+            "origin": span.origin,
+            "line": span.line,
+            "purpose": span.purpose,
+            "start": span.start,
+            "end": end,
+            "total": total,
+            "stages": stages,
+            # tuples internally; exports convert (snapshot / to-JSON)
+            "segments": segments,
+        }
+        self.recent.append(record)
+        self._keep_slowest(record)
+
+    def _keep_slowest(self, record: dict) -> None:
+        slowest = self.slowest
+        if len(slowest) >= self.top_k \
+                and record["total"] <= slowest[-1]["total"]:
+            return
+        slowest.append(record)
+        slowest.sort(key=lambda r: (-r["total"], r["req_id"]))
+        del slowest[self.top_k:]
+
+    # -- rollups -----------------------------------------------------------
+    def _top(self, table: Dict, k: int) -> List[Tuple]:
+        ranked = sorted(table.items(),
+                        key=lambda kv: (-kv[1], str(kv[0])))
+        return [(key, cycles) for key, cycles in ranked[:k]]
+
+    def top_lines(self, k: int = 0) -> List[Tuple[int, float]]:
+        """Lines ranked by critical-path contention cycles."""
+        return self._top(self.line_cycles, k or self.top_k)
+
+    def top_shards(self, k: int = 0) -> List[Tuple[str, float]]:
+        """Homes ranked by critical-path queue cycles."""
+        return self._top(self.shard_cycles, k or self.top_k)
+
+    def top_links(self, k: int = 0) -> List[Tuple[str, float]]:
+        """Links ranked by critical-path wire cycles."""
+        return self._top(self.link_cycles, k or self.top_k)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe rollup (recent segment trees included)."""
+        return {
+            "completed": self.completed,
+            "open": len(self._open),
+            "total_cycles": self.total_cycles,
+            "stage_totals": dict(self.stage_totals),
+            "top_lines": [[f"0x{line:x}", cycles]
+                          for line, cycles in self.top_lines()],
+            "top_shards": [list(row) for row in self.top_shards()],
+            "top_links": [list(row) for row in self.top_links()],
+            "slowest": [dict(row, segments=[list(s) for s in
+                                            row["segments"]])
+                        for row in self.slowest],
+        }
+
+    # -- rendering ---------------------------------------------------------
+    def format_span(self, record: dict) -> str:
+        """Render one span's segment tree, indented under its root."""
+        total = record["total"]
+        line = record["line"]
+        head = (f"req {record['req_id']} {record['purpose']} "
+                f"{record['origin']}"
+                + (f" line 0x{line:x}" if line is not None else "")
+                + f": {total:,.0f} cycles "
+                f"[{record['start']:,}..{record['end']:,}]")
+        rows = [head]
+        for stage, t0, t1, resource in record["segments"]:
+            share = 100.0 * (t1 - t0) / total if total else 0.0
+            tag = f" @{resource}" if resource else ""
+            rows.append(f"  +- {stage:<10} {t1 - t0:>8,} cycles "
+                        f"({share:4.1f}%) [{t0:,}..{t1:,}]{tag}")
+        return "\n".join(rows)
+
+    def format_report(self, title: str = "critical path") -> str:
+        lines = [f"== {title} =="]
+        lines.append(f"  requests decomposed: {self.completed}"
+                     + (f"  (open: {len(self._open)})"
+                        if self._open else ""))
+        if not self.completed:
+            return "\n".join(lines)
+        total = self.total_cycles or 1.0
+        lines.append("  end-to-end cycles by stage "
+                     "(exact partition):")
+        for stage in SPAN_STAGES:
+            cycles = self.stage_totals[stage]
+            lines.append(f"    {stage:<10} {cycles:>14,.0f} "
+                         f"({100.0 * cycles / total:5.1f}%)")
+        if self.line_cycles:
+            detail = "  ".join(f"0x{line:x}={cycles:,.0f}"
+                               for line, cycles in self.top_lines())
+            lines.append(f"  top contended lines: {detail}")
+        if self.shard_cycles:
+            detail = "  ".join(f"{name}={cycles:,.0f}"
+                               for name, cycles in self.top_shards())
+            lines.append(f"  top shards (queue cycles): {detail}")
+        if self.link_cycles:
+            detail = "  ".join(f"{name}={cycles:,.0f}"
+                               for name, cycles in self.top_links())
+            lines.append(f"  top links (wire cycles): {detail}")
+        if self.slowest:
+            lines.append("  slowest requests:")
+            for record in self.slowest:
+                for row in self.format_span(record).splitlines():
+                    lines.append(f"    {row}")
+        return "\n".join(lines)

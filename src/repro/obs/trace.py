@@ -82,13 +82,14 @@ class TraceEvent:
     """
 
     __slots__ = ("ts", "kind", "src", "dst", "line", "req_id", "cls",
-                 "dur", "hop", "info")
+                 "dur", "hop", "info", "rseq")
 
     def __init__(self, ts: int, kind: str, src: str,
                  dst: Optional[str] = None, line: Optional[int] = None,
                  req_id: Optional[int] = None, cls: Optional[str] = None,
                  dur: int = 0, hop: Optional[str] = None,
-                 info: Optional[str] = None):
+                 info: Optional[str] = None,
+                 rseq: Optional[int] = None):
         self.ts = ts
         self.kind = kind
         self.src = src
@@ -99,6 +100,10 @@ class TraceEvent:
         self.dur = dur
         self.hop = hop
         self.info = info
+        #: transport sequence number (msg.meta["rseq"]) when the event
+        #: concerns a sequenced message on an unreliable fabric; lets
+        #: sinks tell a first send from its retransmissions
+        self.rseq = rseq
 
     def to_dict(self) -> dict:
         """JSON-safe rendering (omits unset fields)."""
@@ -117,6 +122,8 @@ class TraceEvent:
             out["hop"] = self.hop
         if self.info is not None:
             out["info"] = self.info
+        if self.rseq is not None:
+            out["rseq"] = self.rseq
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -215,9 +222,10 @@ class TraceRecorder:
                line: Optional[int] = None, req_id: Optional[int] = None,
                cls: Optional[str] = None, dur: int = 0,
                hop: Optional[str] = None,
-               info: Optional[str] = None) -> TraceEvent:
+               info: Optional[str] = None,
+               rseq: Optional[int] = None) -> TraceEvent:
         event = TraceEvent(self.engine.now, kind, src, dst, line, req_id,
-                           cls, dur, hop, info)
+                           cls, dur, hop, info, rseq)
         self.seen += 1
         for sink in self.sinks:
             sink(event)
@@ -232,7 +240,7 @@ class TraceRecorder:
         self.record("net.send", msg.src, dst=msg.dst, line=msg.line,
                     req_id=msg.req_id, cls=msg.traffic_class,
                     dur=delivery - now, hop=hop_class(msg, self.homes),
-                    info=msg.kind.value)
+                    info=msg.kind.value, rseq=msg.meta.get("rseq"))
 
     def message_delivered(self, msg: Message) -> None:
         self.record("net.deliver", msg.src, dst=msg.dst, line=msg.line,
@@ -252,14 +260,15 @@ class TraceRecorder:
         """The wire delivers a second copy (delivery fault)."""
         self.record("net.dup", msg.src, dst=msg.dst, line=msg.line,
                     req_id=msg.req_id, cls=msg.traffic_class,
-                    dur=delivery - now, info=msg.kind.value)
+                    dur=delivery - now, info=msg.kind.value,
+                    rseq=msg.meta.get("rseq"))
 
     # -- transport trace points (repro.network.reliable) -------------------
     def transport_retransmit(self, msg: Message, attempt_rto: int) -> None:
         self.record("transport.retx", msg.src, dst=msg.dst,
                     line=msg.line, req_id=msg.req_id,
                     cls=msg.traffic_class, dur=attempt_rto,
-                    info=msg.kind.value)
+                    info=msg.kind.value, rseq=msg.meta.get("rseq"))
 
     def transport_dedupe(self, msg: Message, why: str) -> None:
         """Receiver-side transport suppressed a wire delivery

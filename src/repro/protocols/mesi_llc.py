@@ -73,6 +73,9 @@ class MESIDirectoryLLC(Component):
         super().__init__(engine, name)
         self.network = network
         self.stats = stats
+        # canonical per-home counters (home.l3.*) aliased to the
+        # historical llc.* aggregates for one release (see DESIGN.md)
+        self.hstats = stats.scoped(f"home.{name}", "llc")
         self.dram = dram
         self.array: CacheArray[DirState] = CacheArray(
             size_bytes, assoc, DirState.I)
@@ -110,7 +113,7 @@ class MESIDirectoryLLC(Component):
             self._probe_response(msg)
             return
         if msg.kind in (MsgKind.GET_S, MsgKind.GET_M, MsgKind.PUT_M):
-            self.stats.incr_group("llc.requests", msg.kind.value)
+            self.hstats.incr_group("requests", msg.kind.value)
             self._process(msg)
             return
         raise SimulationError(f"{self.name}: unexpected {msg}")
@@ -130,7 +133,7 @@ class MESIDirectoryLLC(Component):
             line_obj.unpin()
 
     def _defer(self, msg: Message) -> None:
-        self.stats.incr("llc.deferred")
+        self.hstats.incr("deferred")
         tracer = self.engine.tracer
         if tracer is not None:
             tracer.record("home.defer", self.name, line=msg.line,
@@ -172,7 +175,7 @@ class MESIDirectoryLLC(Component):
         if msg.line in self._fetching:
             return None
         self._fetching.add(msg.line)
-        self.stats.incr("llc.fills")
+        self.hstats.incr("fills")
         tracer = self.engine.tracer
         if tracer is not None:
             tracer.record("home.fill", self.name, line=msg.line,
@@ -203,7 +206,7 @@ class MESIDirectoryLLC(Component):
         self._evict(victim, lambda: self._make_room(line, then))
 
     def _evict(self, victim: CacheLine, then: Callable[[], None]) -> None:
-        self.stats.incr("llc.evictions")
+        self.hstats.incr("evictions")
         sharers = self._sharers(victim)
         if victim.state == DirState.S and sharers:
             txn = self._new_txn(victim.line,
@@ -219,7 +222,7 @@ class MESIDirectoryLLC(Component):
                               line=victim.line, req_id=txn.txn_id,
                               info=f"evict-inv acks={len(targets)}")
             for target in targets:
-                self.stats.incr("llc.invalidations_sent")
+                self.hstats.incr("invalidations_sent")
                 self.network.send(Message(
                     MsgKind.MESI_INV, victim.line, FULL_LINE_MASK,
                     src=self.name, dst=target, req_id=txn.txn_id))
@@ -309,7 +312,7 @@ class MESIDirectoryLLC(Component):
             txn.want_data = True
             self._txns[txn.txn_id] = txn
             self._block(line_obj)
-            self.stats.incr("llc.forwards")
+            self.hstats.incr("forwards")
             if tracer is not None:
                 tracer.record("home.txn.begin", self.name, line=msg.line,
                               req_id=txn.txn_id,
@@ -350,7 +353,7 @@ class MESIDirectoryLLC(Component):
                               req_id=txn.txn_id,
                               info=f"getm-inv acks={len(sharers)}")
             for target in sorted(sharers):
-                self.stats.incr("llc.invalidations_sent")
+                self.hstats.incr("invalidations_sent")
                 self.network.send(Message(
                     MsgKind.MESI_INV, msg.line, FULL_LINE_MASK,
                     src=self.name, dst=target, req_id=txn.txn_id))
@@ -364,7 +367,7 @@ class MESIDirectoryLLC(Component):
             txn.acks_needed = 1    # the owner's MESI_INV_ACK
             self._txns[txn.txn_id] = txn
             self._block(line_obj)
-            self.stats.incr("llc.forwards")
+            self.hstats.incr("forwards")
             tracer = self.engine.tracer
             if tracer is not None:
                 tracer.record("home.txn.begin", self.name, line=msg.line,
@@ -412,7 +415,7 @@ class MESIDirectoryLLC(Component):
                 tracer.record("home.state", self.name, line=msg.line,
                               req_id=msg.req_id, info="M->V putm")
         else:
-            self.stats.incr("llc.stale_writebacks")
+            self.hstats.incr("stale_writebacks")
         self.network.send(Message(
             MsgKind.WB_ACK, msg.line, msg.mask, src=self.name,
             dst=msg.src, req_id=msg.req_id))

@@ -14,9 +14,100 @@ arguments rest on.
 
 from __future__ import annotations
 
+import re
 from collections import defaultdict
 from math import ceil
 from typing import Dict, Iterable, Mapping, Sequence
+
+#: The registry-name grammar (documented in DESIGN.md): dotted
+#: lower-case segments, each ``[a-z][a-z0-9_]*`` for the first segment
+#: and ``[a-z0-9_]+`` afterwards — e.g. ``transport.retransmits``,
+#: ``home.llc0.fills``, ``faults.dropped``.  Dots are the hierarchy
+#: separator (Prometheus export maps them to underscores), so segments
+#: themselves never contain dots.
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+
+class MetricNameError(ValueError):
+    """A stat/metric name violates the grammar or collides."""
+
+
+def validate_metric_name(name: str) -> str:
+    """Check ``name`` against the registry grammar; return it."""
+    if not METRIC_NAME_RE.match(name):
+        raise MetricNameError(
+            f"metric name {name!r} violates the registry grammar "
+            "(dotted lower-case segments: [a-z][a-z0-9_]*"
+            "(\\.[a-z0-9_]+)*)")
+    return name
+
+
+class ScopedStats:
+    """A per-component view of a :class:`StatsRegistry`.
+
+    Every increment writes the canonical scoped name
+    (``<prefix>.<metric>``, e.g. ``home.llc0.fills``) *and* the legacy
+    aggregate name (``<legacy_prefix>.<metric>``, e.g. ``llc.fills``)
+    so existing reports keep working for one release while the scoped
+    names become the source of truth.  With multiple shards the legacy
+    name is the sum over scopes — the alias relationship the naming
+    grammar documents.
+
+    Name pairs are validated once and cached, so the per-increment cost
+    is two dict adds on the registry's live counter dict.
+    """
+
+    __slots__ = ("_counters", "_incr_group", "prefix", "legacy_prefix",
+                 "_names")
+
+    def __init__(self, registry: "StatsRegistry", prefix: str,
+                 legacy_prefix: str = ""):
+        validate_metric_name(prefix)
+        if legacy_prefix:
+            validate_metric_name(legacy_prefix)
+        self._counters = registry.raw_counters()
+        self._incr_group = registry.incr_group
+        self.prefix = prefix
+        self.legacy_prefix = legacy_prefix
+        self._names: Dict[str, tuple] = {}
+
+    def _pair(self, metric: str) -> tuple:
+        pair = self._names.get(metric)
+        if pair is None:
+            scoped = validate_metric_name(f"{self.prefix}.{metric}")
+            legacy = (f"{self.legacy_prefix}.{metric}"
+                      if self.legacy_prefix else None)
+            pair = self._names[metric] = (scoped, legacy)
+        return pair
+
+    def incr(self, metric: str, amount: float = 1.0) -> None:
+        scoped, legacy = self._pair(metric)
+        self._counters[scoped] += amount
+        if legacy is not None:
+            self._counters[legacy] += amount
+
+    def incr_group(self, metric: str, key: str,
+                   amount: float = 1.0) -> None:
+        scoped, legacy = self._pair(metric)
+        self._incr_group(scoped, key, amount)
+        if legacy is not None:
+            self._incr_group(legacy, key, amount)
+
+    def aliased(self, legacy_prefix: str) -> "ScopedStats":
+        """A view with the same canonical prefix but a different legacy
+        alias prefix (the GPU L2 keeps its historical ``l2.*`` names
+        for its upstream metrics while the inherited home metrics stay
+        aliased to ``llc.*``).  Shares this scope's registration — the
+        canonical namespace is still claimed exactly once."""
+        view = object.__new__(ScopedStats)
+        view._counters = self._counters
+        view._incr_group = self._incr_group
+        view.prefix = self.prefix
+        if legacy_prefix:
+            validate_metric_name(legacy_prefix)
+        view.legacy_prefix = legacy_prefix
+        view._names = {}
+        return view
 
 
 class StatsRegistry:
@@ -26,6 +117,23 @@ class StatsRegistry:
         self._counters: Dict[str, float] = defaultdict(float)
         self._groups: Dict[str, Dict[str, float]] = defaultdict(
             lambda: defaultdict(float))
+        self._scopes: Dict[str, ScopedStats] = {}
+
+    def scoped(self, prefix: str, legacy_prefix: str = "") -> ScopedStats:
+        """A :class:`ScopedStats` view writing ``<prefix>.*`` (plus the
+        legacy alias names).  Each prefix may be claimed once — a
+        second claim means two components would silently share (and
+        double-count) one namespace, so it raises at build time."""
+        if prefix in self._scopes:
+            raise MetricNameError(
+                f"stats scope {prefix!r} already registered — two "
+                "components may not share a metric namespace")
+        scope = ScopedStats(self, prefix, legacy_prefix)
+        self._scopes[prefix] = scope
+        return scope
+
+    def scopes(self) -> Iterable[str]:
+        return list(self._scopes)
 
     # -- flat counters ---------------------------------------------------
     def incr(self, name: str, amount: float = 1.0) -> None:

@@ -27,7 +27,8 @@ from ..mem.dram import MainMemory
 from ..network.noc import LatencyModel, Network
 from ..network.reliable import ReliableNetwork
 from ..network.topology import Attachment, TopoEndpoint, build_topology
-from ..obs import (MetricsTimeSeries, TraceFilter, TraceRecorder,
+from ..obs import (HealthMonitor, MetricsRegistry, MetricsTimeSeries,
+                   SpanCollector, TraceFilter, TraceRecorder,
                    TransactionProfiler)
 from ..protocols.denovo import DeNovoL1
 from ..protocols.gpu_coherence import GPUCoherenceL1
@@ -95,6 +96,9 @@ class System:
         self.tracer: Optional[TraceRecorder] = None
         self.profiler: Optional[TransactionProfiler] = None
         self.metrics: Optional[MetricsTimeSeries] = None
+        self.registry: Optional[MetricsRegistry] = None
+        self.spans: Optional[SpanCollector] = None
+        self.monitor: Optional[HealthMonitor] = None
         if config.trace is not None and config.trace.enabled:
             self.tracer = TraceRecorder(
                 self.engine, capacity=config.trace.capacity,
@@ -120,6 +124,33 @@ class System:
                 self.tracer.homes.add(shard.name)
             if self.gpu_l2 is not None:
                 self.tracer.homes.add(self.gpu_l2.name)
+        # Health monitor + span collector hook in after the topology is
+        # built (they enumerate live homes / L1s / links).  Both are
+        # passive sinks — runs stay bit-identical with monitoring on.
+        if self.tracer is not None and config.trace.monitor_interval > 0:
+            self.registry = MetricsRegistry()
+            for legacy, canonical in (("llc", "home.<shard>"),
+                                      ("l2", "home.gpu_l2")):
+                self.registry.alias(legacy, canonical)
+            self.spans = SpanCollector(top_k=config.trace.health_top_k)
+            self.monitor = HealthMonitor(
+                self, self.registry, config.trace.monitor_interval,
+                top_k=config.trace.health_top_k)
+            # one fused sink instead of two: the sink fan-out loop runs
+            # per trace event, so each extra sink costs a call per
+            # event — the monitor's interval check (HealthMonitor.
+            # __call__ inlined) rides along with the span dispatch
+            spans, monitor = self.spans, self.monitor
+
+            def telemetry(event, _handlers=spans._handlers,
+                          _monitor=monitor):
+                handler = _handlers.get(event.kind)
+                if handler is not None:
+                    handler(event)
+                if event.ts >= _monitor._next_due:
+                    _monitor.sample_at(event.ts)
+
+            self.tracer.sinks.append(telemetry)
 
     # ------------------------------------------------------------------
     def _build(self) -> None:
@@ -344,6 +375,8 @@ class System:
         self.stats.set("execution.cycles", cycles)
         if self.metrics is not None:
             self.metrics.finalize(self.engine.now)
+        if self.monitor is not None:
+            self.monitor.finalize(self.engine.now)
         return RunResult(self.config.name, cycles, self.stats, self.dram)
 
 

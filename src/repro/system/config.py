@@ -215,6 +215,12 @@ class TraceConfig:
     filters: Tuple[str, ...] = ()
     #: StatsRegistry snapshot period in cycles; 0 disables the series
     metrics_interval: int = 0
+    #: health-monitor scrape period in cycles; 0 disables the monitor
+    #: (and the span collector that rides along with it)
+    monitor_interval: int = 0
+    #: rows shown in top-K health rollups (contended lines / shards /
+    #: links, hottest queues)
+    health_top_k: int = 8
 
 
 @dataclass(frozen=True)

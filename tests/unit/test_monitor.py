@@ -1,0 +1,231 @@
+"""MetricsRegistry instruments, name grammar, and HealthMonitor
+sampling behaviour."""
+
+import json
+
+import pytest
+
+from repro.obs import (Counter, Gauge, HealthMonitor, Histogram,
+                       MetricsRegistry, TraceEvent, format_health)
+from repro.sim.stats import MetricNameError
+from repro.system import (TraceConfig, WatchdogConfig, build_system,
+                          scaled_config)
+from repro.workloads import MICROBENCHMARKS
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+def test_instrument_kinds_and_values():
+    registry = MetricsRegistry()
+    counter = registry.counter("a.count", help="things", unit="things")
+    assert isinstance(counter, Counter)
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+    gauge = registry.gauge("a.level")
+    assert isinstance(gauge, Gauge)
+    gauge.set(7)
+    gauge.set(3)
+    assert gauge.value == 3 and gauge.high_water == 7
+
+    histogram = registry.histogram("a.dist")
+    assert isinstance(histogram, Histogram)
+    for value in (1, 5, 5, 300):
+        histogram.observe(value)
+    assert histogram.count == 4 and histogram.sum == 311
+
+
+def test_registration_is_idempotent_per_name_and_labels():
+    registry = MetricsRegistry()
+    first = registry.counter("x.y", labels={"shard": "llc0"})
+    again = registry.counter("x.y", labels={"shard": "llc0"})
+    assert first is again
+    other = registry.counter("x.y", labels={"shard": "llc1"})
+    assert other is not first
+    assert len(registry.instruments()) == 2
+
+
+def test_kind_collision_raises():
+    registry = MetricsRegistry()
+    registry.counter("x.y")
+    with pytest.raises(MetricNameError):
+        registry.gauge("x.y")
+    # also across label sets: one name stays one kind
+    with pytest.raises(MetricNameError):
+        registry.gauge("x.y", labels={"shard": "llc0"})
+
+
+def test_name_grammar_enforced():
+    registry = MetricsRegistry()
+    for bad in ("Upper.case", "1starts.with.digit", "trailing.",
+                "sp ace", "dash-es.allowed", ""):
+        with pytest.raises(MetricNameError):
+            registry.counter(bad)
+    with pytest.raises(MetricNameError):
+        registry.gauge("ok.name", labels={"BadLabel": "v"})
+
+
+def test_alias_table_and_collision():
+    registry = MetricsRegistry()
+    registry.alias("llc", "home.<shard>")
+    registry.alias("llc", "home.<shard>")     # same mapping: fine
+    with pytest.raises(MetricNameError):
+        registry.alias("llc", "somewhere.else")
+    assert registry.snapshot()["aliases"] == {"llc": "home.<shard>"}
+
+
+def test_gauge_callback_polled_at_collect():
+    registry = MetricsRegistry()
+    level = {"value": 0}
+    registry.gauge("cb.level", fn=lambda: level["value"])
+    level["value"] = 42
+    (sample,) = registry.collect()
+    assert sample["value"] == 42 and sample["high_water"] == 42
+
+
+def test_scope_prefixes_names():
+    registry = MetricsRegistry()
+    scope = registry.scope("engine").scope("queue")
+    counter = scope.counter("drops")
+    assert counter.name == "engine.queue.drops"
+
+
+def test_snapshot_json_round_trip_exact():
+    registry = MetricsRegistry()
+    registry.counter("a.b", labels={"k": "v"}).inc(3)
+    registry.gauge("a.g").set(1.5)
+    registry.histogram("a.h").observe(9)
+    registry.alias("old", "a.b")
+    snapshot = registry.snapshot()
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+# ---------------------------------------------------------------------------
+# health monitor
+# ---------------------------------------------------------------------------
+def _monitored_system(**overrides):
+    config = scaled_config(
+        "SDD", 2, 2, watchdog=WatchdogConfig(stall_cycles=200_000),
+        trace=TraceConfig(monitor_interval=1000), **overrides)
+    system = build_system(config)
+    workload = MICROBENCHMARKS["ReuseS"](num_cpus=2, num_gpus=2,
+                                         warps_per_cu=1)
+    system.load_workload(workload)
+    return system
+
+
+def test_monitor_samples_on_interval_boundaries():
+    system = _monitored_system()
+    system.run(max_events=30_000_000)
+    monitor = system.monitor
+    assert monitor.scrapes == len(monitor.samples)
+    assert monitor.scrapes > 1
+    stamps = [row["ts"] for row in monitor.samples]
+    assert stamps == sorted(stamps)
+    # one scrape per interval window at most
+    assert len({ts // 1000 for ts in stamps[:-1]}) == len(stamps) - 1
+
+
+def test_monitor_rows_cover_every_surface():
+    system = _monitored_system(llc_shards=2)
+    system.run(max_events=30_000_000)
+    row = system.monitor.samples[-1]
+    home_names = {home.name for home in system.llcs}
+    if system.gpu_l2 is not None:
+        home_names.add(system.gpu_l2.name)
+    assert set(row["homes"]) == home_names
+    assert len(system.llcs) == 2
+    l1_names = {l1.name for l1 in system.cpu_l1s + system.gpu_l1s}
+    assert set(row["mshr"]) == l1_names and len(l1_names) == 4
+    assert row["engine"]["events"] == system.engine.events_executed
+    for entry in row["mshr"].values():
+        assert entry["capacity"] >= entry["high_water"] >= 1
+
+
+def test_mshr_high_water_tracks_peak_occupancy():
+    system = _monitored_system()
+    system.run(max_events=30_000_000)
+    for l1 in system.cpu_l1s + system.gpu_l1s:
+        assert l1.mshrs.high_water >= 1
+        assert l1.mshrs.high_water <= l1.mshrs.capacity
+        assert len(l1.mshrs) == 0      # drained at quiescence
+
+
+def test_finalize_is_idempotent():
+    system = _monitored_system()
+    system.run(max_events=30_000_000)
+    scrapes = system.monitor.scrapes
+    system.monitor.finalize(system.engine.now)
+    assert system.monitor.scrapes == scrapes
+
+
+def test_on_sample_callbacks_fire_per_scrape():
+    system = _monitored_system()
+    rows = []
+    system.monitor.on_sample.append(rows.append)
+    system.run(max_events=30_000_000)
+    assert len(rows) == system.monitor.scrapes
+
+
+def test_monitor_gauge_high_water_is_whole_run_peak():
+    system = _monitored_system()
+    system.run(max_events=30_000_000)
+    peak = max(inst.high_water
+               for inst in system.registry.instruments()
+               if inst.kind == "gauge" and inst.name == "mshr.high_water")
+    direct = max(l1.mshrs.high_water
+                 for l1 in system.cpu_l1s + system.gpu_l1s)
+    assert peak == direct
+
+
+def test_health_summary_and_format():
+    system = _monitored_system()
+    system.run(max_events=30_000_000)
+    summary = system.monitor.health_summary()
+    assert summary["scrapes"] == system.monitor.scrapes
+    assert summary["peaks"]
+    assert "critical_path" in summary
+    assert json.loads(json.dumps(summary)) == summary
+    text = format_health(system.monitor)
+    assert "== health @ cycle" in text
+    assert "engine:" in text
+
+
+def test_monitor_ignores_events_before_interval():
+    registry = MetricsRegistry()
+
+    class _Engine:
+        events_executed = 10
+        def pending(self):
+            return 0
+        def pending_non_idle(self):
+            return 0
+
+    class _Network:
+        _in_flight = {}
+        _links = {}
+
+    class _System:
+        engine = _Engine()
+        network = _Network()
+        llcs = ()
+        gpu_l2 = None
+        cpu_l1s = ()
+        gpu_l1s = ()
+        spans = None
+
+    monitor = HealthMonitor(_System(), registry, interval=100)
+    monitor(TraceEvent(5, "net.send", "a"))
+    assert monitor.scrapes == 0
+    monitor(TraceEvent(100, "net.send", "a"))
+    assert monitor.scrapes == 1
+    monitor(TraceEvent(150, "net.send", "a"))
+    assert monitor.scrapes == 1
+    monitor(TraceEvent(205, "net.send", "a"))
+    assert monitor.scrapes == 2
+    monitor.finalize(300)
+    assert monitor.scrapes == 3

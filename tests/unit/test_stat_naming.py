@@ -1,0 +1,108 @@
+"""Dotted stat-name scheme: per-shard canonical names, one-release
+legacy aliases, and build-time collision detection."""
+
+import pytest
+
+from repro.sim.stats import (MetricNameError, StatsRegistry,
+                             validate_metric_name)
+from repro.system import (TraceConfig, WatchdogConfig, build_system,
+                          scaled_config)
+from repro.workloads import MICROBENCHMARKS
+
+
+# ---------------------------------------------------------------------------
+# grammar + scoping
+# ---------------------------------------------------------------------------
+def test_grammar_accepts_canonical_names():
+    for name in ("llc.hits", "home.llc0.fills", "transport.retransmits",
+                 "a", "a1.b_2.c"):
+        assert validate_metric_name(name) == name
+
+
+def test_grammar_rejects_violations():
+    for bad in ("Llc.hits", "1a.b", "a..b", "a.", ".a", "a-b", "a b",
+                ""):
+        with pytest.raises(MetricNameError):
+            validate_metric_name(bad)
+
+
+def test_scoped_dual_writes_canonical_and_legacy():
+    registry = StatsRegistry()
+    scope = registry.scoped("home.llc0", legacy_prefix="llc")
+    scope.incr("fills", 3)
+    scope.incr_group("traffic", "req", 2)
+    counters = registry.counters()
+    assert counters["home.llc0.fills"] == 3
+    assert counters["llc.fills"] == 3
+    assert registry.group("home.llc0.traffic") == {"req": 2}
+    assert registry.group("llc.traffic") == {"req": 2}
+
+
+def test_legacy_name_sums_across_shards():
+    registry = StatsRegistry()
+    registry.scoped("home.llc0", legacy_prefix="llc").incr("fills", 3)
+    registry.scoped("home.llc1", legacy_prefix="llc").incr("fills", 4)
+    counters = registry.counters()
+    assert counters["home.llc0.fills"] == 3
+    assert counters["home.llc1.fills"] == 4
+    assert counters["llc.fills"] == 7
+
+
+def test_duplicate_scope_prefix_raises_at_build_time():
+    registry = StatsRegistry()
+    registry.scoped("home.llc0", legacy_prefix="llc")
+    with pytest.raises(MetricNameError):
+        registry.scoped("home.llc0", legacy_prefix="llc")
+
+
+def test_scope_prefix_grammar_enforced():
+    registry = StatsRegistry()
+    with pytest.raises(MetricNameError):
+        registry.scoped("Home.LLC0")
+    with pytest.raises(MetricNameError):
+        registry.scoped("home.llc0", legacy_prefix="LLC")
+
+
+def test_aliased_view_shares_canonical_prefix():
+    registry = StatsRegistry()
+    scope = registry.scoped("home.gpu_l2", legacy_prefix="llc")
+    upstream = scope.aliased("l2")
+    scope.incr("fills", 1)
+    upstream.incr("upstream_reads", 5)
+    counters = registry.counters()
+    assert counters["home.gpu_l2.fills"] == 1
+    assert counters["llc.fills"] == 1
+    assert counters["home.gpu_l2.upstream_reads"] == 5
+    assert counters["l2.upstream_reads"] == 5
+    assert "llc.upstream_reads" not in counters
+
+
+# ---------------------------------------------------------------------------
+# end-to-end on a sharded system
+# ---------------------------------------------------------------------------
+def test_sharded_run_emits_per_shard_names_that_sum_to_legacy():
+    config = scaled_config(
+        "SDD", 2, 2, llc_shards=2,
+        watchdog=WatchdogConfig(stall_cycles=200_000),
+        trace=TraceConfig())
+    system = build_system(config)
+    system.load_workload(MICROBENCHMARKS["ReuseS"](
+        num_cpus=2, num_gpus=2, warps_per_cu=1))
+    system.run(max_events=30_000_000)
+    counters = system.stats.counters()
+    shard_prefixes = [f"home.{home.name}." for home in system.llcs]
+    assert len(shard_prefixes) == 2
+    # collect the per-shard metric names actually emitted
+    metrics = set()
+    for name in counters:
+        for prefix in shard_prefixes:
+            if name.startswith(prefix):
+                metrics.add(name[len(prefix):])
+    assert metrics, "sharded run emitted no home.<shard>.* counters"
+    for metric in metrics:
+        sharded_sum = sum(counters.get(f"{prefix}{metric}", 0)
+                          for prefix in shard_prefixes)
+        assert sharded_sum == counters.get(f"llc.{metric}", 0), metric
+    # every emitted name satisfies the registry grammar
+    for name in counters:
+        validate_metric_name(name)
