@@ -68,7 +68,8 @@ class SweepError(RuntimeError):
 #: workload generator
 CONFIG_KWARGS = ("llc_shards", "shard_interleave", "topology",
                  "num_sockets", "mesh_hop_latency", "switch_latency",
-                 "cross_socket_latency", "cross_socket_return_latency")
+                 "cross_socket_latency", "cross_socket_return_latency",
+                 "request_policy", "owner_pred")
 
 #: CellSpec.kwargs keys that configure unreliable-fabric fault
 #: injection (sweep axes ``--loss``/``--dup``/``--reorder-*``/

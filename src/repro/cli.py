@@ -304,6 +304,20 @@ def _add_fabric_options(parser: argparse.ArgumentParser) -> None:
                              "socket links")
     parser.add_argument("--sockets", type=int, default=2, metavar="N",
                         help="socket count for --topology multi_socket")
+    parser.add_argument("--policy",
+                        choices=("fixed", "criticality", "adaptive"),
+                        default="fixed",
+                        help="per-access request-type policy at the "
+                             "Spandex TUs: the paper's fixed Table II "
+                             "mapping, the criticality-weighted "
+                             "heuristic, or the table-driven adaptive "
+                             "policy (both may convert stores to "
+                             "forwarding write-throughs)")
+    parser.add_argument("--owner-pred", action="store_true",
+                        help="arm the TU owner-prediction table: loads "
+                             "go directly to the predicted owner, with "
+                             "Nack fallback to the home (needs a "
+                             "non-fixed --policy)")
 
 
 def _add_fault_options(parser: argparse.ArgumentParser) -> None:
@@ -387,6 +401,10 @@ def _fabric_overrides(args) -> dict:
         overrides["topology"] = args.topology
     if getattr(args, "sockets", 2) != 2:
         overrides["num_sockets"] = args.sockets
+    if getattr(args, "policy", "fixed") != "fixed":
+        overrides["request_policy"] = args.policy
+    if getattr(args, "owner_pred", False):
+        overrides["owner_pred"] = True
     return overrides
 
 
@@ -537,6 +555,14 @@ def _cmd_run(args) -> int:
             line += f"  memory: {'OK' if bad == 0 else f'{bad} BAD'}"
         if checker is not None:
             line += f"  invariants: OK ({checker.audits} audits)"
+        if getattr(args, "policy", "fixed") != "fixed" \
+                or getattr(args, "owner_pred", False):
+            line += (f"  policy[{args.policy}]: "
+                     f"{system.stats.get('tu.fwd_direct'):.0f} "
+                     f"wtfwd_conversions, "
+                     f"{system.stats.get('llc.wtfwd_pushes'):.0f} pushes, "
+                     f"pred {system.stats.get('tu.pred_hit'):.0f} hit / "
+                     f"{system.stats.get('tu.pred_miss'):.0f} miss")
         if args.faults is not None:
             delayed = (system.stats.get("faults.jitter_delayed")
                        + system.stats.get("faults.burst_delayed"))

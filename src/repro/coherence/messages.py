@@ -60,6 +60,11 @@ class MsgKind(enum.Enum):
     INV = "Inv"
     ACK = "Ack"
 
+    # -- WTfwd producer->consumer forwarding (hpvm-spandex extension) --
+    REQ_WT_FWD = "ReqWTfwd"      # write-through that preserves remote owners
+    FWD_WT_DATA = "FwdWTData"    # home -> owner data push for owned words
+    RSP_WT_FWD = "RspWTfwd"      # home -> requestor completion
+
     # -- MESI baseline protocol (hierarchical configurations) --
     GET_S = "GetS"
     GET_M = "GetM"
@@ -94,6 +99,8 @@ RESPONSE_OF = {
     MsgKind.REQ_WB: MsgKind.RSP_WB,
     MsgKind.RVK_O: MsgKind.RSP_RVK_O,
     MsgKind.INV: MsgKind.ACK,
+    MsgKind.REQ_WT_FWD: MsgKind.RSP_WT_FWD,
+    MsgKind.FWD_WT_DATA: MsgKind.ACK,
 }
 
 #: Traffic class used for Figures 2/3 stacks.  Each request class also
@@ -109,6 +116,8 @@ TRAFFIC_CLASS = {
     MsgKind.REQ_WB: "ReqWB", MsgKind.RSP_WB: "ReqWB",
     MsgKind.RVK_O: "Probe", MsgKind.RSP_RVK_O: "Probe",
     MsgKind.INV: "Probe", MsgKind.ACK: "Probe",
+    MsgKind.REQ_WT_FWD: "ReqWT", MsgKind.RSP_WT_FWD: "ReqWT",
+    MsgKind.FWD_WT_DATA: "ReqWT",
     MsgKind.GET_S: "ReqS", MsgKind.DATA_S: "ReqS", MsgKind.DATA_E: "ReqS",
     MsgKind.GET_M: "ReqO+data", MsgKind.DATA_M: "ReqO+data",
     MsgKind.PUT_M: "ReqWB", MsgKind.WB_ACK: "ReqWB",

@@ -56,6 +56,9 @@ TABLE_III = {
     MsgKind.REQ_WT_DATA: {"next": HomeState.V, "fwd": MsgKind.RVK_O},
     MsgKind.REQ_O_DATA: {"next": "O", "fwd": MsgKind.REQ_O_DATA},
     MsgKind.REQ_WB: {"next": HomeState.V, "fwd": None},
+    # WTfwd extension (policy layer): write through at the home while
+    # pushing the data to the current owners, who keep ownership.
+    MsgKind.REQ_WT_FWD: {"next": HomeState.V, "fwd": MsgKind.FWD_WT_DATA},
 }
 
 
@@ -411,6 +414,16 @@ class SpandexHome(Component):
             raise SimulationError(f"{self.name}: orphan probe response {msg}")
         if msg.kind == MsgKind.ACK:
             txn.acks_needed -= 1
+            released = msg.meta.get("wtfwd_released", 0)
+            if released:
+                # the owner evicted these words before the WTfwd push
+                # arrived: drop its ownership so the stale write-back
+                # in flight is discarded (Table III last row)
+                line_obj = self.array.lookup(msg.line, touch=False)
+                if line_obj is not None:
+                    for index in iter_mask(released):
+                        if line_obj.owner[index] == msg.src:
+                            self._set_word_owner(line_obj, index, None)
         else:  # RspRvkO carries writeback data for the revoked words
             line_obj = self.array.lookup(msg.line, touch=False)
             if line_obj is not None:
@@ -464,6 +477,7 @@ class SpandexHome(Component):
                 MsgKind.REQ_O: self._handle_write,
                 MsgKind.REQ_WT_DATA: self._handle_atomic,
                 MsgKind.REQ_O_DATA: self._handle_write,
+                MsgKind.REQ_WT_FWD: self._handle_wtfwd,
             }
         dispatch[msg.kind](msg, line_obj)
 
@@ -621,6 +635,75 @@ class SpandexHome(Component):
             rsp = (MsgKind.RSP_O if msg.kind == MsgKind.REQ_O
                    else MsgKind.RSP_O_DATA)
             self._respond(msg, rsp, local, data)
+
+    # -- ReqWTfwd (forwarding write-through, policy layer) ------------------
+    def _handle_wtfwd(self, msg: Message, line_obj: CacheLine) -> None:
+        if line_obj.state == HomeState.S and self._sharers(line_obj):
+            txn = self._new_txn(msg.line, msg.mask, "wtfwd-inv",
+                          lambda t: self._process_request(msg))
+            self._begin_invalidate(line_obj, msg.mask, {msg.src}, txn)
+            return
+        if line_obj.state == HomeState.S:
+            line_obj.state = HomeState.V
+        self._backing_grant_write(
+            msg.line, lambda: self._perform_wtfwd(msg, line_obj))
+
+    def _perform_wtfwd(self, msg: Message, line_obj: CacheLine) -> None:
+        """Write through at the home and push the data to the owners.
+
+        Unlike ReqWT, the owners keep ownership — the push lands the
+        producer's data directly in the consumer's cache.  The words
+        stay blocked until every owner acknowledges the push: the
+        requestor's completion (its release fence) must imply that no
+        cache still serves the old values, and a racing ReqO for the
+        same words must serialize after the push (it would otherwise
+        transfer ownership while stale data is still being replaced).
+        Owners that already evicted the words report them in the Ack's
+        ``wtfwd_released`` mask and the home drops their ownership —
+        their in-flight write-back is stale and will be discarded.
+        """
+        line_obj.write_data(msg.mask, msg.data)
+        self._mark_dirty(line_obj, msg.mask)
+        owned = self._owned_mask(line_obj) & msg.mask
+        # Words the writer itself still owns (the policy demoted an
+        # owned-word store): reclaim silently — the request data IS
+        # the owner's newest value, pushing it back would be circular.
+        mine = 0
+        for index in iter_mask(owned):
+            if line_obj.owner[index] == msg.src:
+                mine |= 1 << index
+        for index in iter_mask(mine):
+            self._set_word_owner(line_obj, index, None)
+        owned &= ~mine
+        if not owned:
+            self._respond(msg, MsgKind.RSP_WT_FWD, msg.mask, {})
+            return
+        by_owner = self._group_by_owner(line_obj, owned)
+        txn = self._new_txn(
+            msg.line, owned, "wtfwd",
+            lambda t, m=msg: self._respond(m, MsgKind.RSP_WT_FWD,
+                                           m.mask, {}))
+        txn.acks_needed = len(by_owner)
+        self._txns[txn.txn_id] = txn
+        self._block_words(line_obj, owned)
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("home.txn.begin", self.name, line=msg.line,
+                          req_id=txn.txn_id,
+                          info=f"wtfwd owners={len(by_owner)}")
+        for owner, owner_mask in sorted(by_owner.items()):
+            self.hstats.incr("forwards")
+            self.hstats.incr("wtfwd_pushes")
+            if tracer is not None:
+                tracer.record("home.fwd", self.name, dst=owner,
+                              line=msg.line, req_id=txn.txn_id,
+                              info=f"FwdWTData for {msg.src}")
+            data = {i: msg.data[i] for i in iter_mask(owner_mask)
+                    if i in msg.data}
+            self.network.send(Message(
+                MsgKind.FWD_WT_DATA, msg.line, owner_mask, src=self.name,
+                dst=owner, req_id=txn.txn_id, requestor=msg.src,
+                data=data))
 
     # -- ReqWT+data (atomics performed at the LLC) -------------------------
     def _handle_atomic(self, msg: Message, line_obj: CacheLine) -> None:

@@ -34,6 +34,12 @@ from ..protocols.mesi import MESIL1
 from ..sim.engine import Component, Engine, SimulationError
 from ..sim.stats import StatsRegistry
 
+#: request kinds the policy layer may convert to ReqWTfwd
+_CONVERTIBLE_KINDS = (MsgKind.REQ_O, MsgKind.REQ_WT)
+#: forwarded read-class requests: the only kinds that train a policy's
+#: remote-consumption (producer->consumer) signal
+_READ_FORWARD_KINDS = (MsgKind.REQ_V, MsgKind.REQ_S)
+
 
 class TranslationUnit(Component):
     """Base TU: network endpoint wrapping a device L1.
@@ -68,11 +74,26 @@ class TranslationUnit(Component):
         self._retry_rng = random.Random(
             zlib.crc32(l1.name.encode()) ^ retry_seed)
         self._retries: Dict[int, int] = {}       # req_id -> attempts
+        #: per-access request-type policy (repro.core.policy); None is
+        #: the fixed Table II baseline and keeps this path bit-identical
+        #: to the pre-policy simulator.
+        self.policy = None
+        #: owner-prediction table (repro.core.policy.OwnerPredictor);
+        #: only consulted when a policy wants prediction for a kind.
+        self.predictor = None
+        #: 'cpu' | 'gpu' — criticality weighting keys on the device
+        #: class (paper: CPU accesses have less latency tolerance), not
+        #: on the cache's protocol family.  Device names start with the
+        #: class letter in both builders ('cpu0'/'gpu0', 'c0'/'g0').
+        self.device_class = "gpu" if l1.name.startswith("g") else "cpu"
+        self._pred_pending: Dict[int, int] = {}  # req_id -> line
         l1.tu = self
         network.register(self)
 
     # -- outbound: device -> system ------------------------------------------
     def from_device(self, msg: Message) -> None:
+        if self.policy is not None:
+            self._apply_policy(msg)
         tracer = self.engine.tracer
         if tracer is not None:
             tracer.record("tu.out", self.name, dst=msg.dst,
@@ -80,6 +101,63 @@ class TranslationUnit(Component):
                           dur=self.latency, info=msg.kind.value)
         self.schedule(self.latency, lambda: self.network.send(msg),
                       label="tu-out")
+
+    # -- per-access request-type selection (policy layer) --------------------
+    def _apply_policy(self, msg: Message) -> None:
+        kind = msg.kind
+        if kind in _CONVERTIBLE_KINDS:
+            if self.predictor is not None:
+                # we are about to write: any cached prediction for the
+                # line is about to go stale (ownership transfers)
+                self.predictor.invalidate(msg.line)
+            choice = self.policy.select(self.PROTOCOL_FAMILY, kind,
+                                        msg.line, self)
+            if choice is MsgKind.REQ_WT_FWD:
+                self._convert_to_wtfwd(msg)
+            return
+        if kind is MsgKind.REQ_V and self.predictor is not None and \
+                self.policy.wants_prediction(self.PROTOCOL_FAMILY, kind):
+            target = self.predictor.predict(msg.line)
+            if target is not None and target != self.name and \
+                    target != self.l1.home_for(msg.line):
+                msg.dst = target
+                self._pred_pending[msg.req_id] = msg.line
+                tracer = self.engine.tracer
+                if tracer is not None:
+                    tracer.record("tu.pred", self.name, dst=target,
+                                  line=msg.line, req_id=msg.req_id,
+                                  info="predicted owner")
+
+    def demotes_stores(self, line: int) -> bool:
+        """True when the policy maps stores of ``line`` to a forwarding
+        write-through.  The L1's owned-word store fast path consults
+        this: a silent in-place owner write would bypass the policy
+        entirely, so a demoted store goes through the store buffer (and
+        out as a ReqWTfwd) instead."""
+        if self.policy is None:
+            return False
+        return self.policy.select(self.PROTOCOL_FAMILY, MsgKind.REQ_O,
+                                  line, self) is MsgKind.REQ_WT_FWD
+
+    def _convert_to_wtfwd(self, msg: Message) -> None:
+        """Turn a write request into a forwarding write-through.
+
+        The base conversion covers requests that already carry their
+        store data (GPU ReqWT); ownership requests without data are
+        handled by family overrides.
+        """
+        if not msg.data:
+            return
+        self._count_wtfwd(msg)
+        msg.kind = MsgKind.REQ_WT_FWD
+
+    def _count_wtfwd(self, msg: Message) -> None:
+        self.stats.incr("tu.fwd_direct")
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("tu.fwd", self.name, dst=msg.dst,
+                          line=msg.line, req_id=msg.req_id,
+                          info=f"{msg.kind.value}->ReqWTfwd")
 
     # -- inbound: system -> device ------------------------------------------
     def receive(self, msg: Message) -> None:
@@ -93,10 +171,48 @@ class TranslationUnit(Component):
 
     def _handle(self, msg: Message) -> None:
         if msg.kind == MsgKind.NACK:
+            if msg.req_id in self._pred_pending:
+                self._pred_fallback(msg)
+                return
             self._handle_nack(msg)
             return
+        if self._pred_pending and msg.req_id in self._pred_pending:
+            line = self._pred_pending.pop(msg.req_id)
+            self.stats.incr("tu.pred_hit")
+            if self.predictor is not None:
+                self.predictor.train(line, msg.src)
+        elif self.predictor is not None and msg.kind == MsgKind.RSP_V \
+                and msg.src != self.l1.home_for(msg.line):
+            # a home-forwarded ReqV was answered by its owner directly:
+            # learn the owner for the next read of this line
+            self.predictor.train(msg.line, msg.src)
+        if self.policy is not None and msg.requestor is not None and \
+                msg.kind in _READ_FORWARD_KINDS:
+            # a forwarded *read* names a remote consumer of our data;
+            # write-class forwards (RvkO, FwdWTData) name a remote
+            # writer and must not train the producer->consumer signal
+            self.policy.observe_forward(msg.line, msg.requestor)
         self._retries.pop(msg.req_id, None)
         self.l1.receive(msg)
+
+    def _pred_fallback(self, msg: Message) -> None:
+        """Mispredict: the predicted owner Nacked; retry at the home.
+
+        This is not a protocol Nack (the home never saw the request),
+        so it neither burns the bounded retry budget nor escalates —
+        the home always has a correct serving path for ReqV.
+        """
+        self._pred_pending.pop(msg.req_id, None)
+        self.stats.incr("tu.pred_miss")
+        if self.predictor is not None:
+            self.predictor.mispredict(msg.line)
+        tracer = self.engine.tracer
+        if tracer is not None:
+            tracer.record("tu.pred_miss", self.name, line=msg.line,
+                          req_id=msg.req_id, info=f"nack from {msg.src}")
+        self.network.send(Message(
+            MsgKind.REQ_V, msg.line, msg.mask, src=self.name,
+            dst=self.l1.home_for(msg.line), req_id=msg.req_id))
 
     def _handle_nack(self, msg: Message) -> None:
         attempts = self._retries.get(msg.req_id, 0)
@@ -156,6 +272,24 @@ class DeNovoTU(TranslationUnit):
             MsgKind.REQ_O_DATA, msg.line, msg.mask, src=self.name,
             dst=self.l1.home_for(msg.line), req_id=msg.req_id))
 
+    def _convert_to_wtfwd(self, msg: Message) -> None:
+        # A DeNovo ReqO carries no data (the store overwrites); the
+        # forwarding write-through needs the buffered store values, and
+        # the completion must not install the words as Owned.  The L1
+        # tracks the in-flight record only after ``request`` returns,
+        # so the no-ownership flag rides on the message meta and is
+        # copied into the record by ``DeNovoL1._issue_writes``.
+        if msg.kind is not MsgKind.REQ_O:
+            super()._convert_to_wtfwd(msg)
+            return
+        values = self.l1._store_values_for(msg.line, msg.mask)
+        if values is None:
+            return    # not a plain store-buffer ReqO: leave it alone
+        self._count_wtfwd(msg)
+        msg.kind = MsgKind.REQ_WT_FWD
+        msg.data = values
+        msg.meta["wtfwd"] = True
+
 
 class MESITU(TranslationUnit):
     """TU adapting word-granularity Spandex requests to a MESI cache."""
@@ -182,10 +316,44 @@ class MESITU(TranslationUnit):
         if msg.kind == MsgKind.INV:
             self.l1.receive(msg)          # native MESI capability
             return
+        if msg.kind == MsgKind.FWD_WT_DATA:
+            self._fwd_wt_data(msg)
+            return
         if msg.kind in self.EXTERNAL_KINDS:
             self._handle_external(msg)
             return
         super()._handle(msg)
+
+    # -- WTfwd data pushed into an owning MESI line ---------------------------
+    def _fwd_wt_data(self, msg: Message) -> None:
+        """A producer wrote through words this MESI core owns.
+
+        Stable M/E: apply the pushed words in place and keep the line
+        (the producer->consumer payoff — the consumer's next load
+        hits).  Pending upgrade (IM/IS): the grant data predates the
+        write-through, so apply after the grant lands; the grant is
+        already in flight (the home set us as owner before this push
+        was processed), so no deadlock.  Any other state means the
+        words left this cache: release them so the home clears our
+        ownership.
+        """
+        state = self.l1.probe_state(msg.line)
+        covered = self._wb_covered_mask(msg.line, msg.mask)
+        if covered == msg.mask or state not in ("M", "E", "IM", "IS"):
+            self.network.send(Message(
+                MsgKind.ACK, msg.line, msg.mask, src=self.name,
+                dst=msg.src, req_id=msg.req_id,
+                meta={"wtfwd_released": msg.mask}))
+            return
+        if state in ("IM", "IS"):
+            data = dict(msg.data)
+            self.l1.probe_after_grant(
+                msg.line, lambda: self.l1.probe_write(msg.line, data))
+        else:
+            self.l1.probe_write(msg.line, msg.data)
+        self.network.send(Message(
+            MsgKind.ACK, msg.line, msg.mask, src=self.name,
+            dst=msg.src, req_id=msg.req_id))
 
     # -- external word-granularity requests (§III-D cases 1-3) ---------------
     def _wb_covered_mask(self, line: int, mask: int) -> int:
@@ -203,6 +371,12 @@ class MESITU(TranslationUnit):
         return covered
 
     def _handle_external(self, msg: Message) -> None:
+        if self.policy is not None and msg.requestor is not None and \
+                msg.kind in _READ_FORWARD_KINDS:
+            # external requests bypass the base _handle path, so the
+            # adaptive policy's remote-consumption signal is fed here
+            # (read-class forwards only — see TranslationUnit._handle)
+            self.policy.observe_forward(msg.line, msg.requestor)
         # Words covered by a pending write-back belong to an ownership
         # epoch we already surrendered: answer from retained data first.
         # (Deciding by the IM/IS transient instead would deadlock — the

@@ -45,11 +45,13 @@ INDIRECTION_HOPS = ("fwd", "level")
 _PROBE_KINDS = frozenset((MsgKind.INV, MsgKind.RVK_O, MsgKind.MESI_INV))
 _PROBE_ACK_KINDS = frozenset((MsgKind.ACK, MsgKind.MESI_INV_ACK,
                               MsgKind.RSP_RVK_O))
-#: kinds a device sends only when answering a forwarded request
+#: kinds a device sends only when answering a forwarded request (a
+#: NACK also answers an owner-predicted direct ReqV, which is likewise
+#: a device->device leg of a forwarded path)
 _FWD_RESPONSE_KINDS = frozenset((
     MsgKind.RSP_V, MsgKind.RSP_S, MsgKind.RSP_WT, MsgKind.RSP_O,
     MsgKind.RSP_WT_DATA, MsgKind.RSP_O_DATA, MsgKind.NACK,
-    MsgKind.DATA_S, MsgKind.DATA_E, MsgKind.DATA_M))
+    MsgKind.RSP_WT_FWD, MsgKind.DATA_S, MsgKind.DATA_E, MsgKind.DATA_M))
 
 
 def hop_class(msg: Message, homes: Set[str]) -> str:

@@ -77,6 +77,7 @@ class DeNovoL1(L1Controller):
             MsgKind.RVK_O: self._ext_rvko,
             MsgKind.REQ_S: self._ext_reqs,
             MsgKind.INV: self._ext_inv,
+            MsgKind.FWD_WT_DATA: self._ext_wt_fwd,
         }
 
     # ------------------------------------------------------------------
@@ -145,6 +146,13 @@ class DeNovoL1(L1Controller):
                 if line_obj.word_states[index] != DnState.O:
                     owned = 0
                     break
+            if owned and self.tu is not None and \
+                    self.tu.demotes_stores(access.line):
+                # the request policy maps stores of this line to a
+                # forwarding write-through: a silent owner write would
+                # hoard the data here, so route it through the store
+                # buffer and let the TU convert the ReqO
+                owned = 0
             if owned:
                 self.count("hits")
                 line_obj.write_data(access.mask, access.values)
@@ -244,6 +252,10 @@ class DeNovoL1(L1Controller):
             msg = self.request(MsgKind.REQ_O, entry.line, entry.mask)
             inflight = self._track(msg, "store")
             inflight.meta["sb_line"] = entry.line
+            if msg.meta.get("wtfwd"):
+                # the TU converted the ReqO to a forwarding
+                # write-through: completion installs no ownership
+                inflight.meta["wtfwd"] = True
             self._write_issued()
             entry = self.store_buffer.next_unissued()
 
@@ -377,12 +389,28 @@ class DeNovoL1(L1Controller):
         line = inflight.meta["sb_line"]
         entry = self.store_buffer.complete(line)
         downgraded = self._downgraded_pending.pop(line, 0)
-        keep = entry.mask & ~downgraded
+        # A store the TU converted to a forwarding write-through grants
+        # no ownership: the home (and any surviving owner) already has
+        # the data; installing the words as Owned here would fabricate
+        # an ownership the home never recorded.
+        keep = 0 if inflight.meta.get("wtfwd") else entry.mask & ~downgraded
         if keep:
             line_obj = self._resident(line)
             line_obj.set_words(keep, DnState.O)
             line_obj.write_data(keep, entry.values)
             self._mark_dirty(line_obj, keep)
+        elif inflight.meta.get("wtfwd"):
+            # A demoted owned-word store: the home reclaimed our
+            # ownership when it absorbed the ReqWTfwd, so any words we
+            # still hold as Owned are stale — drop them (the home has
+            # the newest values).
+            line_obj = self.array.lookup(line, touch=False)
+            if line_obj is not None:
+                for index in iter_mask(entry.mask):
+                    if line_obj.word_states[index] == DnState.O:
+                        line_obj.word_states[index] = DnState.I
+                line_obj.meta["dirty_mask"] = \
+                    int(line_obj.meta.get("dirty_mask", 0)) & ~entry.mask
         self._write_completed()
         self._release_delayed(line)
 
@@ -575,6 +603,45 @@ class DeNovoL1(L1Controller):
         self.send(Message(MsgKind.RSP_RVK_O, msg.line, msg.mask,
                           src=self.name, dst=msg.src,
                           req_id=msg.meta["txn_id"], data=values))
+
+    def _ext_wt_fwd(self, msg: Message) -> None:
+        """WTfwd push: a producer wrote through words we own.
+
+        Owned words take the pushed data in place and stay Owned — the
+        producer's data lands directly in this cache, which is the
+        whole point of the forwarding write-through.  Words we no
+        longer own (evicted, write-back in flight) are reported back in
+        ``wtfwd_released`` so the home drops our ownership and discards
+        the stale write-back; their retained copy is purged so a later
+        direct (owner-predicted) ReqV cannot be served stale data.
+        """
+        line_obj = self.array.lookup(msg.line, touch=False)
+        wb = self._pending_wb.get(msg.line)
+        applied = 0
+        released = 0
+        for index in iter_mask(msg.mask):
+            if line_obj is not None and \
+                    line_obj.word_states[index] == DnState.O:
+                if index in msg.data:
+                    line_obj.data[index] = msg.data[index]
+                    self._mark_dirty(line_obj, 1 << index)
+                applied |= 1 << index
+            else:
+                released |= 1 << index
+                if wb is not None:
+                    wb.pop(index, None)
+        if wb is not None and not wb:
+            self._pending_wb.pop(msg.line, None)
+        if applied:
+            self.count("wtfwd_fills")
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.record("l1.state", self.name, line=msg.line,
+                              info=f"wtfwd fill mask=0x{applied:04x}")
+        meta = {"wtfwd_released": released} if released else {}
+        self.send(Message(MsgKind.ACK, msg.line, msg.mask,
+                          src=self.name, dst=msg.src, req_id=msg.req_id,
+                          meta=meta))
 
     def _ext_inv(self, msg: Message) -> None:
         # DeNovo holds no Shared state: acknowledge (§III-C case 3),

@@ -470,6 +470,16 @@ class MESIL1(L1Controller):
                           info=f"{previous}->{to} probe")
         return data
 
+    def probe_write(self, line: int, values: Dict[int, int]) -> None:
+        """Apply externally pushed words to an owned line (WTfwd data);
+        the line becomes Modified — we now hold the only fresh copy."""
+        line_obj = self.array.lookup(line, touch=False)
+        if line_obj is None or line_obj.state in (MesiState.I, MesiState.S):
+            return     # the line left this cache since the push was sent
+        for index, value in values.items():
+            line_obj.data[index] = value
+        line_obj.state = MesiState.M
+
     def probe_after_grant(self, line: int, fn: Callable[[], None]) -> None:
         """Run ``fn`` once the pending ownership grant for ``line`` has
         landed and its accesses have completed (§III-D case 2)."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core.llc import SpandexLLC
+from ..core.policy import OwnerPredictor, make_policy
 from ..core.shard import HomeMap, shard_names, shard_size
 from ..core.tu import make_tu
 from ..devices.cpu import CPUCore
@@ -180,6 +181,21 @@ class System:
             retry_seed=(config.faults.seed
                         if config.faults is not None else 0))
 
+    def _attach_policy(self, tu) -> None:
+        """Arm the per-access request-type policy on a Spandex TU.
+
+        The 'fixed' baseline attaches nothing: ``tu.policy`` stays
+        None and the TU hot path is bit-identical to the pre-policy
+        build (pinned by tests/property/test_policy_equivalence.py).
+        """
+        config = self.config
+        policy = make_policy(config.request_policy)
+        if policy is None:
+            return
+        tu.policy = policy
+        if config.owner_pred:
+            tu.predictor = OwnerPredictor()
+
     def _build_spandex(self) -> None:
         config = self.config
         names = shard_names(config.llc_shards)
@@ -220,6 +236,7 @@ class System:
             l1.home_map = self.home_map
             tu = make_tu(self.engine, self.network, self.stats, l1,
                          config.tu_latency, **self._tu_kwargs())
+            self._attach_policy(tu)
             self._topo_endpoints.append(TopoEndpoint(name, "cpu"))
             for shard in self.llcs:
                 shard.device_protocols[name] = l1.PROTOCOL_FAMILY
@@ -245,6 +262,7 @@ class System:
             l1.home_map = self.home_map
             tu = make_tu(self.engine, self.network, self.stats, l1,
                          config.tu_latency, **self._tu_kwargs())
+            self._attach_policy(tu)
             self._topo_endpoints.append(TopoEndpoint(name, "gpu"))
             for shard in self.llcs:
                 shard.device_protocols[name] = l1.PROTOCOL_FAMILY

@@ -296,6 +296,17 @@ class SystemConfig:
 
     tu_latency: int = 1
 
+    #: per-access request-type policy at the Spandex TUs
+    #: (repro.core.policy): 'fixed' is the paper's Table II mapping and
+    #: attaches no policy object at all — bit-identical to the
+    #: pre-policy build; 'criticality' and 'adaptive' may convert
+    #: stores to forwarding write-throughs (ReqWTfwd).  Hierarchical
+    #: configurations have no Spandex TUs and ignore the setting.
+    request_policy: str = "fixed"
+    #: arm the TU owner-prediction table (direct owner-predicted ReqV
+    #: with Nack fallback); only meaningful with a non-fixed policy
+    owner_pred: bool = False
+
     #: reliable-transport sublayer (repro.network.reliable), armed only
     #: when ``faults`` enables a delivery-fault class: initial
     #: retransmission timeout, its exponential-backoff cap, and how

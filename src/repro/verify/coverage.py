@@ -148,33 +148,38 @@ class CoverageRecorder:
 #: the corpus misses.
 REACHABLE_PAIRS: Dict[str, Set[Tuple[str, str]]] = {
     MESI_L1: {
-        ('E', 'FwdGetM'), ('E', 'FwdGetS'), ('E', 'ReqO'), ('E', 'ReqO+data'),
-        ('E', 'ReqS'), ('E', 'ReqV'), ('E', 'ReqWT'), ('E', 'RvkO'),
-        ('E', 'acc:load'), ('I', 'MESIInv'), ('I', 'ReqO'), ('I', 'ReqWT'),
+        ('E', 'FwdGetM'), ('E', 'FwdGetS'), ('E', 'FwdWTData'), ('E', 'ReqO'),
+        ('E', 'ReqO+data'), ('E', 'ReqS'), ('E', 'ReqV'), ('E', 'ReqWT'),
+        ('E', 'RspO+data'), ('E', 'RspS'), ('E', 'RvkO'), ('E', 'acc:load'),
+        ('I', 'MESIInv'), ('I', 'ReqO'), ('I', 'ReqV'), ('I', 'ReqWT'),
         ('I', 'RspWB'), ('I', 'acc:load'), ('I', 'acc:rmw'),
         ('I', 'acc:store'), ('IM', 'DataM'), ('IM', 'FwdGetS'),
-        ('IM', 'ReqO'), ('IM', 'ReqO+data'), ('IM', 'ReqS'), ('IM', 'ReqWT'),
-        ('IM', 'RspO+data'), ('IM', 'RvkO'), ('IM', 'acc:load'),
-        ('IM', 'acc:store'), ('IS', 'DataE'), ('IS', 'DataS'), ('IS', 'ReqS'),
-        ('IS', 'RspO+data'), ('IS', 'RspS'), ('IS', 'RspWB'),
-        ('M', 'FwdGetM'), ('M', 'FwdGetS'), ('M', 'ReqO'), ('M', 'ReqO+data'),
-        ('M', 'ReqS'), ('M', 'ReqV'), ('M', 'ReqWT'), ('M', 'RvkO'),
-        ('M', 'acc:load'), ('M', 'acc:rmw'), ('M', 'acc:store'), ('S', 'Inv'),
-        ('S', 'MESIInv'), ('S', 'acc:load'), ('S', 'acc:store'),
-        ('WB', 'FwdGetS'), ('WB', 'RspWB'), ('WB', 'WBAck'),
+        ('IM', 'ReqO'), ('IM', 'ReqO+data'), ('IM', 'ReqS'), ('IM', 'ReqV'),
+        ('IM', 'ReqWT'), ('IM', 'RspO+data'), ('IM', 'RvkO'),
+        ('IM', 'acc:load'), ('IM', 'acc:store'), ('IS', 'DataE'),
+        ('IS', 'DataS'), ('IS', 'ReqS'), ('IS', 'ReqV'), ('IS', 'RspO+data'),
+        ('IS', 'RspS'), ('IS', 'RspWB'),
+        ('M', 'FwdGetM'), ('M', 'FwdGetS'), ('M', 'FwdWTData'), ('M', 'ReqO'),
+        ('M', 'ReqO+data'), ('M', 'ReqS'), ('M', 'ReqV'), ('M', 'ReqWT'),
+        ('M', 'RvkO'), ('M', 'acc:load'), ('M', 'acc:rmw'),
+        ('M', 'acc:store'), ('S', 'Inv'), ('S', 'MESIInv'), ('S', 'ReqV'),
+        ('S', 'acc:load'), ('S', 'acc:store'),
+        ('WB', 'FwdGetS'), ('WB', 'ReqV'), ('WB', 'RspWB'), ('WB', 'WBAck'),
     },
     DENOVO_L1: {
         ('I', 'Nack'), ('I', 'ReqO+data'), ('I', 'ReqV'), ('I', 'RspO'),
         ('I', 'RspO+data'), ('I', 'RspV'), ('I', 'RspWB'),
-        ('I', 'RspWT+data'), ('I', 'acc:load'), ('I', 'acc:rmw'),
-        ('I', 'acc:store'), ('O', 'ReqO'), ('O', 'ReqO+data'), ('O', 'ReqV'),
-        ('O', 'ReqWT'), ('O', 'RvkO'), ('O', 'acc:load'), ('O', 'acc:rmw'),
-        ('V', 'RspO'), ('V', 'RspV'), ('V', 'acc:load'), ('V', 'acc:store'),
+        ('I', 'RspWT+data'), ('I', 'RspWTfwd'), ('I', 'acc:load'),
+        ('I', 'acc:rmw'), ('I', 'acc:store'), ('O', 'FwdWTData'),
+        ('O', 'ReqO'), ('O', 'ReqO+data'), ('O', 'ReqV'), ('O', 'ReqWT'),
+        ('O', 'RspO+data'), ('O', 'RvkO'), ('O', 'acc:load'),
+        ('O', 'acc:rmw'), ('O', 'acc:store'), ('V', 'ReqV'), ('V', 'RspO'),
+        ('V', 'RspV'), ('V', 'acc:load'), ('V', 'acc:store'),
     },
     GPU_L1: {
         ('I', 'Nack'), ('I', 'RspV'), ('I', 'RspWT'), ('I', 'RspWT+data'),
-        ('I', 'acc:load'), ('I', 'acc:rmw'), ('I', 'acc:store'),
-        ('V', 'acc:load'),
+        ('I', 'RspWTfwd'), ('I', 'acc:load'), ('I', 'acc:rmw'),
+        ('I', 'acc:store'), ('V', 'RspV'), ('V', 'acc:load'),
     },
     SPANDEX_HOME: {
         ('B', 'Ack'), ('B', 'ReqO+data'), ('B', 'ReqS'), ('B', 'ReqV'),
@@ -184,10 +189,11 @@ REACHABLE_PAIRS: Dict[str, Set[Tuple[str, str]]] = {
         ('I', 'ReqV'), ('I', 'ReqWT'), ('I', 'ReqWT+data'), ('O', 'FwdGetM'),
         ('O', 'FwdGetS'), ('O', 'ReqO'), ('O', 'ReqO+data'), ('O', 'ReqS'),
         ('O', 'ReqV'), ('O', 'ReqWB'), ('O', 'ReqWT'), ('O', 'ReqWT+data'),
-        ('S', 'ReqO'), ('S', 'ReqO+data'), ('S', 'ReqWT'),
-        ('S', 'ReqWT+data'), ('V', 'DataM'), ('V', 'FwdGetM'),
-        ('V', 'FwdGetS'), ('V', 'ReqO'), ('V', 'ReqO+data'), ('V', 'ReqS'),
-        ('V', 'ReqV'), ('V', 'ReqWB'), ('V', 'ReqWT'), ('V', 'ReqWT+data'),
+        ('O', 'ReqWTfwd'), ('S', 'ReqO'), ('S', 'ReqO+data'), ('S', 'ReqV'),
+        ('S', 'ReqWT'), ('S', 'ReqWT+data'), ('V', 'DataM'), ('V', 'FwdGetM'),
+        ('V', 'FwdGetS'), ('V', 'MESIInv'), ('V', 'ReqO'), ('V', 'ReqO+data'),
+        ('V', 'ReqS'), ('V', 'ReqV'), ('V', 'ReqWB'), ('V', 'ReqWT'),
+        ('V', 'ReqWT+data'), ('V', 'ReqWTfwd'),
     },
 }
 

@@ -517,6 +517,9 @@ def run_schedule(scenario, config_name: str, chooser=None, *,
                           llc_shards=spec.get("llc_shards", 1),
                           shard_interleave=spec.get("shard_interleave",
                                                     "line"),
+                          request_policy=spec.get("request_policy",
+                                                  "fixed"),
+                          owner_pred=spec.get("owner_pred", False),
                           trace=trace)
     if unreliable:
         system.network.drop_budget = verify_drops

@@ -108,9 +108,9 @@ EV_STRIDE = 0x80
 TINY_L1 = 1024
 
 
-def _fillers(count: int = 9) -> List[Op]:
-    """Loads that evict EV_BASE's line from a TINY_L1 cache."""
-    return [Op.load(EV_BASE + (i + 1) * EV_STRIDE) for i in range(count)]
+def _fillers(count: int = 9, base: int = EV_BASE) -> List[Op]:
+    """Loads that evict ``base``'s line from a TINY_L1 cache."""
+    return [Op.load(base + (i + 1) * EV_STRIDE) for i in range(count)]
 
 
 # ---------------------------------------------------------------------
@@ -606,6 +606,112 @@ def _unreliable_ownership_handoff() -> Dict:
         "g0": [Op.spin_ge(FLAG, 1), Op.store(DATA, 20),
                Op.release_fence(), Op.store(FLAG, 2)],
     }, "verify_drops": 2, "verify_dups": 1}
+
+
+# ---------------------------------------------------------------------
+# request-type policy races (request_policy / owner_pred spec knobs):
+# the criticality policy converts GPU-device stores to ReqWTfwd (the
+# home pushes the data to surviving owners instead of revoking them)
+# and redirects ReqVs at owners the TU's prediction table learned from
+# earlier home-forwarded reads.  These scenarios pin the two hazards
+# that selection layer adds: a predicted direct ReqV racing the
+# owner's departure, and the WTfwd push racing ownership movement on
+# the same line.  Hierarchical configurations attach no policy and run
+# the same specs as plain handoffs.
+#
+# Data addresses are chosen so their 64-set owner-predictor index
+# ((line/64) % 64) differs from the flag lines': FLAG indexes set 0
+# and FLAG2 set 1, and the round litmus constants above all alias
+# them, which would let flag-spin training evict the data entry
+# before its confidence reaches the prediction threshold.
+# ---------------------------------------------------------------------
+PRED_DATA = 0x1_0080     # predictor set 2: no alias with FLAG/FLAG2
+PRED_EV = 0x2_0080       # predictor set 2; same TINY_L1 set as fillers
+
+
+@litmus("pred-mispredict-eviction",
+        "Owner prediction races an eviction: two home-forwarded reads "
+        "train g0's predictor on c0, then c0 capacity-evicts the word "
+        "and the third read goes direct to a departed owner — served "
+        "from the retained write-back copy or Nacked into the home "
+        "fallback, never from dead state.",
+        races=("pred-vs-departed-owner", "wb-vs-fwd", "nack-retry"),
+        tags=("policy",))
+def _pred_mispredict_eviction() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(PRED_EV, 31), Op.release_fence(),
+               Op.store(FLAG, 1), Op.spin_ge(FLAG2, 1)] +
+              _fillers(base=PRED_EV) +
+              [Op.release_fence(), Op.store(FLAG, 2)],
+        "g0": [Op.spin_ge(FLAG, 1), Op.load(PRED_EV),
+               Op.spin_ge(FLAG, 1), Op.load(PRED_EV),
+               Op.release_fence(), Op.store(FLAG2, 1),
+               Op.spin_ge(FLAG, 2), Op.load(PRED_EV)],
+    }, "l1_size": TINY_L1, "request_policy": "criticality",
+       "owner_pred": True}
+
+
+@litmus("pred-stale-valid-reload",
+        "A predicted owner holds a stale Valid copy: c0 owned the word "
+        "(training g0's predictor), lost it to c1, reloaded it as "
+        "Valid, and c1 then wrote again — silently, as DeNovo owners "
+        "do.  g0's predicted ReqV reaches c0, whose Valid words must "
+        "be Nacked (only Owned words may serve), falling back to the "
+        "home and the true owner.",
+        races=("pred-vs-stale-valid", "reqo-vs-owner"),
+        tags=("policy", "kills:denovo-reqv-serves-valid"))
+def _pred_stale_valid_reload() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(PRED_DATA, 1), Op.release_fence(),
+               Op.store(FLAG, 1),
+               Op.spin_ge(FLAG, 2), Op.load(PRED_DATA),
+               Op.release_fence(), Op.store(FLAG, 3)],
+        "g0": [Op.spin_ge(FLAG, 1), Op.load(PRED_DATA),
+               Op.spin_ge(FLAG, 1), Op.load(PRED_DATA),
+               Op.release_fence(), Op.store(FLAG2, 1),
+               Op.spin_ge(FLAG, 4), Op.load(PRED_DATA)],
+        "c1": [Op.spin_ge(FLAG2, 1), Op.store(PRED_DATA, 2),
+               Op.release_fence(), Op.store(FLAG, 2),
+               Op.spin_ge(FLAG, 3), Op.store(PRED_DATA, 3),
+               Op.release_fence(), Op.store(FLAG, 4)],
+    }, "request_policy": "criticality", "owner_pred": True}
+
+
+@litmus("wtfwd-racing-reqo",
+        "A converted producer store (ReqWTfwd) races a concurrent ReqO "
+        "for another word of the same line: the home's push must land "
+        "in the owner's cache (or release its ownership) before the "
+        "requestor completes, and the racing ownership transfer — plus "
+        "the previous owner's partial write-back — must serialize "
+        "against the blocked words without resurrecting stale data.",
+        races=("wtfwd-vs-reqo", "wb-vs-fwd"),
+        tags=("policy", "kills:home-wtfwd-no-push"))
+def _wtfwd_racing_reqo() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 1), Op.release_fence(), Op.store(FLAG, 1),
+               Op.spin_ge(FLAG, 2), Op.load(DATA)],
+        "g0": [Op.spin_ge(FLAG, 1), Op.store(DATA, 2),
+               Op.release_fence(), Op.store(FLAG, 2)],
+        "c1": [Op.store(DATA + 4, 3)],
+    }, "request_policy": "criticality", "owner_pred": True}
+
+
+@litmus("xshard-wtfwd-handoff",
+        "Producer->consumer forwarding across shards: the written word "
+        "homes at shard 0 (which pushes FwdWTData to the owning "
+        "consumer) while the publication flag homes at shard 1, so the "
+        "forwarded-response completion and the release edge are "
+        "serialized by different homes.",
+        races=("wtfwd-vs-reqo", "xshard-release"),
+        tags=("policy", "xshard", "kills:home-wtfwd-no-push"))
+def _xshard_wtfwd_handoff() -> Dict:
+    return {"threads": {
+        "c0": [Op.store(DATA, 1), Op.release_fence(),
+               Op.store(FLAG2, 1), Op.spin_ge(FLAG2, 2), Op.load(DATA)],
+        "g0": [Op.spin_ge(FLAG2, 1), Op.store(DATA, 2),
+               Op.release_fence(), Op.store(FLAG2, 2)],
+    }, "llc_shards": 2, "request_policy": "criticality",
+       "owner_pred": True}
 
 
 @litmus("unreliable-xshard-handoff",

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Tuple
 from ..coherence.addr import FULL_LINE_MASK, iter_mask
 from ..coherence.messages import Message, MsgKind
 from ..core.home import SpandexHome
-from ..protocols.denovo import DeNovoL1
+from ..protocols.denovo import DeNovoL1, DnState
 from ..protocols.gpu_coherence import GPUCoherenceL1
 from ..protocols.mesi import MESIL1, MesiState
 
@@ -137,6 +137,35 @@ def _denovo_reqo_keeps_owner(self, msg: Message) -> None:
                       req_id=msg.req_id))
 
 
+def _home_wtfwd_no_push(self, msg: Message, line_obj) -> None:
+    """WTfwd applied at the home only: the data push to surviving
+    owners (and the blocking ack round) is skipped, so an owning
+    consumer keeps serving its stale copy after the producer's
+    completion — the requestor's release no longer implies global
+    visibility."""
+    line_obj.write_data(msg.mask, msg.data)
+    self._mark_dirty(line_obj, msg.mask)
+    self._respond(msg, MsgKind.RSP_WT_FWD, msg.mask, {})
+
+
+def _denovo_reqv_serves_valid(self, msg: Message):
+    """External ReqV served from Valid words too: a (mis)predicted
+    direct read can then observe a copy the true owner has silently
+    overwritten, instead of the Nack that forces the home fallback."""
+    line_obj = self.array.lookup(msg.line, touch=False)
+    values = {}
+    wb = self._pending_wb.get(msg.line, {})
+    for index in iter_mask(msg.mask):
+        if line_obj is not None and line_obj.word_states[index] in (
+                DnState.O, DnState.V):   # BUG: V words are not coherent
+            values[index] = line_obj.data[index]
+        elif index in wb:
+            values[index] = wb[index]
+        else:
+            return None
+    return values
+
+
 def _home_invalidate_skips_sharers(self, line_obj, mask, exclude,
                                    txn) -> None:
     """Sharer invalidation forgotten: the home clears its sharer list
@@ -224,6 +253,26 @@ MUTANTS: List[Mutant] = [
         patches=((DeNovoL1, "_ext_reqo", _denovo_reqo_keeps_owner),),
         kill_hints=("ownership-pingpong", "gpu-ownership-handoff"),
         configs=("SDG", "SDD", "SMD", "HMD"),
+    ),
+    Mutant(
+        name="home-wtfwd-no-push",
+        doc="Spandex home applies a ReqWTfwd locally but never pushes "
+            "FwdWTData to the surviving owners (nor blocks for their "
+            "acks); owning consumers keep stale data past the "
+            "producer's release",
+        patches=((SpandexHome, "_perform_wtfwd", _home_wtfwd_no_push),),
+        kill_hints=("wtfwd-racing-reqo", "xshard-wtfwd-handoff"),
+        configs=("SDD", "SDG", "SMD", "SMG"),
+    ),
+    Mutant(
+        name="denovo-reqv-serves-valid",
+        doc="DeNovo L1 answers an external ReqV from Valid (not just "
+            "Owned) words, so a predicted direct read observes a "
+            "silently-overwritten stale copy instead of Nacking into "
+            "the home fallback",
+        patches=((DeNovoL1, "_owned_data", _denovo_reqv_serves_valid),),
+        kill_hints=("pred-stale-valid-reload",),
+        configs=("SDD", "SDG"),
     ),
     Mutant(
         name="home-inv-skips-sharers",

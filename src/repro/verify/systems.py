@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..core.llc import SpandexLLC
+from ..core.policy import OwnerPredictor, make_policy
 from ..core.shard import HomeMap, shard_names, shard_size
 from ..core.tu import make_tu
 from ..mem.dram import MainMemory
@@ -43,12 +44,17 @@ class VerifySystem:
                  l1_size: int = 8 * 1024, l1_assoc: int = 8,
                  llc_size: int = 64 * 1024,
                  coalesce_delay: int = 1, trace: bool = False,
-                 llc_shards: int = 1, shard_interleave: str = "line"):
+                 llc_shards: int = 1, shard_interleave: str = "line",
+                 request_policy: str = "fixed", owner_pred: bool = False):
         config = CONFIGS[config_name]
         self.config_name = config_name
         self.config = config
         self.llc_shards = llc_shards if not config.hierarchical else 1
         self.shard_interleave = shard_interleave
+        #: per-access request-type policy + owner prediction (ignored in
+        #: hierarchical configurations, which have no Spandex TUs)
+        self.request_policy = request_policy
+        self.owner_pred = owner_pred
         self.engine = Engine()
         self.tracer = None
         if trace:
@@ -120,8 +126,9 @@ class VerifySystem:
                               nack_retry_limit=0,
                               register_on_network=False)
             l1.home_map = self.home_map
-            self.tus[name] = make_tu(self.engine, self.network,
-                                     self.stats, l1)
+            tu = self.tus[name] = make_tu(self.engine, self.network,
+                                          self.stats, l1)
+            self._attach_policy(tu)
             for shard in self.llcs:
                 shard.device_protocols[name] = l1.PROTOCOL_FAMILY
             self.cpu_l1s.append(l1)
@@ -141,11 +148,20 @@ class VerifySystem:
                               nack_retry_limit=0,
                               register_on_network=False)
             l1.home_map = self.home_map
-            self.tus[name] = make_tu(self.engine, self.network,
-                                     self.stats, l1)
+            tu = self.tus[name] = make_tu(self.engine, self.network,
+                                          self.stats, l1)
+            self._attach_policy(tu)
             for shard in self.llcs:
                 shard.device_protocols[name] = l1.PROTOCOL_FAMILY
             self.gpu_l1s.append(l1)
+
+    def _attach_policy(self, tu) -> None:
+        policy = make_policy(self.request_policy)
+        if policy is None:
+            return
+        tu.policy = policy
+        if self.owner_pred:
+            tu.predictor = OwnerPredictor()
 
     def _build_hierarchical(self, config, l1_size, l1_assoc, llc_size,
                             coalesce_delay):

@@ -5,12 +5,13 @@ from .base import BarrierFactory, Workload, WorkloadMeta
 from .graph import Graph, community_graph
 from .serialize import load_workload, save_workload
 from .synthetic import (MICROBENCHMARKS, make_indirection, make_local_sync,
-                        make_reuse_o, make_reuse_s)
+                        make_producer_consumer, make_reuse_o, make_reuse_s)
 from .trace import AddressSpace, Op, OpKind, Trace
 
 __all__ = ["APPLICATIONS", "make_bc", "make_hsti", "make_pr", "make_rsct",
            "make_tqh", "make_trns", "BarrierFactory", "Workload",
            "WorkloadMeta", "Graph", "community_graph", "MICROBENCHMARKS",
-           "make_indirection", "make_reuse_o", "make_reuse_s",
+           "make_indirection", "make_producer_consumer", "make_reuse_o",
+           "make_reuse_s",
            "AddressSpace", "Op", "OpKind", "Trace",
            "load_workload", "save_workload", "make_local_sync"]

@@ -327,8 +327,83 @@ def make_local_sync(num_cpus: int = 2, num_gpus: int = 4,
                     initial, meta)
 
 
+def make_producer_consumer(num_cpus: int = 4, num_gpus: int = 4,
+                           warps_per_cu: int = 2, slice_lines: int = 4,
+                           iterations: int = 6, lanes: int = 8,
+                           seed: int = 19) -> Workload:
+    """CPU producers stream fresh data into GPU-warp-owned tiles.
+
+    Each GPU warp accumulates in place over a private tile: every
+    iteration it loads each word and stores the running sum back to
+    the *same* word, so (with an ownership protocol) the warp holds
+    the tile Owned across barriers.  Each iteration the CPU producers
+    overwrite every tile with fresh inputs first; a barrier publishes
+    them, the warps accumulate, and a second barrier closes the
+    iteration (DRF: producers and consumers never touch a word in the
+    same phase).
+
+    Under the fixed Table II mapping the producer's ReqO steals each
+    tile's ownership every iteration, so the warp's loads are
+    three-hop home-forwarded indirections back to the producer and its
+    store-back must revoke ownership again — a per-word ownership
+    ping-pong.  A policy that converts the (never locally reused)
+    producer stores to ReqWTfwd instead pushes the fresh data straight
+    into the owning warp's cache (FwdWTData): the warp's whole
+    iteration runs on local Owned hits.  This is the ablation workload
+    for the request-policy axis (EXPERIMENTS.md).
+    """
+    space = AddressSpace()
+    barriers = BarrierFactory(space)
+    total_threads = num_cpus + num_gpus * warps_per_cu
+    gpu_threads = num_gpus * warps_per_cu
+
+    tiles = [space.alloc_lines(slice_lines) for _ in range(gpu_threads)]
+    tile_words = [dense_addrs(base, slice_lines * 16) for base in tiles]
+    rounds = [barriers.make(total_threads)[1]
+              for _ in range(2 * iterations)]
+
+    cpu_traces: List[Trace] = []
+    for tid in range(num_cpus):
+        ops: List[Op] = []
+        produced = [wid for wid in range(gpu_threads)
+                    if wid % num_cpus == tid]
+        for it in range(iterations):
+            for wid in produced:
+                for k, addr in enumerate(tile_words[wid]):
+                    ops.append(Op.store(addr, (it + 1) * 1000 + k))
+            ops.extend(rounds[2 * it]())
+            ops.extend(rounds[2 * it + 1]())   # wait out the consumers
+        cpu_traces.append(ops)
+
+    gpu_traces: List[List[Trace]] = []
+    wid = 0
+    for cu in range(num_gpus):
+        warps: List[Trace] = []
+        for _ in range(warps_per_cu):
+            ops: List[Op] = []
+            for it in range(iterations):
+                ops.extend(rounds[2 * it]())
+                # accumulate in place: load + store back per word group
+                for group in chunk(tile_words[wid], lanes):
+                    ops.append(Op.load(group))
+                    ops.append(Op.store(group, it + 7 + wid))
+                ops.extend(rounds[2 * it + 1]())
+            warps.append(ops)
+            wid += 1
+        gpu_traces.append(warps)
+
+    meta = WorkloadMeta(
+        suite="synthetic", partitioning="data",
+        synchronization="coarse-grain", sharing="flat",
+        locality="high (consumer tiles)",
+        parameters={"slice_lines": slice_lines,
+                    "iterations": iterations})
+    return Workload("ProducerConsumer", cpu_traces, gpu_traces, {}, meta)
+
+
 MICROBENCHMARKS = {
     "Indirection": make_indirection,
     "ReuseO": make_reuse_o,
     "ReuseS": make_reuse_s,
+    "ProducerConsumer": make_producer_consumer,
 }
